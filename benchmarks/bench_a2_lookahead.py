@@ -1,0 +1,61 @@
+"""A2 — ablation: how much lookahead does choice quality need?
+
+Section 3.4 asks how to resolve choices "fast enough ... without
+substantially slowing down the system".  This ablation sweeps the
+consequence-prediction chain depth used by the Choice-CrystalBall
+RandTree and reports both result quality (rejoin depth) and cost
+(wall-clock for the whole scenario).
+
+Expected shape: depth 1 (myopic: the join is still in flight at the
+horizon, so candidates are nearly indistinguishable) underperforms;
+moderate depths reach full quality; beyond that only cost grows.
+Also sweeps the exploration budget at fixed depth.
+"""
+
+import statistics
+import time
+
+from repro.eval import run_tree_experiment
+
+from conftest import print_table
+
+SEEDS = (1, 4)
+
+
+def run_sweep():
+    rows = []
+    for chain_depth in (1, 3, 6, 9):
+        depths = []
+        start = time.perf_counter()
+        for seed in SEEDS:
+            result = run_tree_experiment(
+                "choice-crystalball", seed=seed, chain_depth=chain_depth,
+            )
+            depths.append(result.depth_after_rejoin)
+        elapsed = time.perf_counter() - start
+        rows.append(("chain depth", chain_depth, statistics.mean(depths), elapsed))
+    for budget in (30, 250):
+        depths = []
+        start = time.perf_counter()
+        for seed in SEEDS:
+            result = run_tree_experiment(
+                "choice-crystalball", seed=seed, chain_depth=6, budget=budget,
+            )
+            depths.append(result.depth_after_rejoin)
+        elapsed = time.perf_counter() - start
+        rows.append(("budget", budget, statistics.mean(depths), elapsed))
+    return rows
+
+
+def test_a2_lookahead_depth_and_budget(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "A2: lookahead depth/budget vs rejoin quality and cost",
+        ("knob", "value", "mean rejoin depth", "wall seconds"),
+        [(k, v, f"{d:.1f}", f"{t:.1f}") for k, v, d, t in rows],
+    )
+    by_knob = {(k, v): d for k, v, d, _ in rows}
+    # Full-quality configurations must not be worse than the myopic one.
+    assert by_knob[("chain depth", 6)] <= by_knob[("chain depth", 1)]
+    # Deeper than needed must not degrade quality.
+    assert by_knob[("chain depth", 9)] <= by_knob[("chain depth", 3)] + 0.51

@@ -1,0 +1,62 @@
+"""A3 — ablation: exhaustive causal chains vs sampled simulations.
+
+Section 3.4 expects "new algorithms for online prediction of future
+behaviors" and Section 3.3.2's performance-weighted exploration "turns
+a model checker into a simulator that runs a large number of
+simulations".  The runtime supports both backends for choice scoring:
+
+* ``chains``   — bounded consequence prediction (exhaustive over the
+  causal cone, deterministic);
+* ``sampling`` — random-walk simulations (stochastic estimates of the
+  objective over futures).
+
+Expected shape on the E3 scenario: both backends preserve the
+CrystalBall advantage over random resolution; sampling is noisier
+(occasionally one level deeper) — the price of estimating instead of
+enumerating.
+"""
+
+import statistics
+import time
+
+from repro.eval import run_tree_experiment
+
+from conftest import print_table
+
+SEEDS = (1, 4)
+
+
+def run_all():
+    rows = []
+    for mode, kwargs in (
+        ("chains", dict(prediction_mode="chains")),
+        ("sampling", dict(prediction_mode="sampling",
+                          sampling_walks=12, sampling_steps=8)),
+    ):
+        depths = []
+        start = time.perf_counter()
+        for seed in SEEDS:
+            result = run_tree_experiment(
+                "choice-crystalball", seed=seed, runtime_kwargs=kwargs,
+            )
+            depths.append(result.depth_after_rejoin)
+        rows.append((mode, depths, time.perf_counter() - start))
+    random_depths = [
+        run_tree_experiment("choice-random", seed=seed).depth_after_rejoin
+        for seed in SEEDS
+    ]
+    rows.append(("choice-random", random_depths, 0.0))
+    return rows
+
+
+def test_a3_chains_vs_sampling(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "A3: prediction backend vs rejoin quality",
+        ("backend", "mean depth", "per-seed", "wall seconds"),
+        [(m, f"{statistics.mean(d):.1f}", str(d), f"{t:.1f}") for m, d, t in rows],
+    )
+    by_mode = {m: statistics.mean(d) for m, d, _ in rows}
+    assert by_mode["chains"] <= by_mode["choice-random"]
+    # Sampling stays within one level of the exhaustive backend.
+    assert by_mode["sampling"] <= by_mode["chains"] + 1.0

@@ -1,0 +1,58 @@
+"""A5 — extension: robustness under continuous churn.
+
+The paper's thesis sentence promises "increased performance and
+robustness to various deployment settings".  E3 tests one catastrophic
+failure; this experiment applies *continuous* churn (a random node
+crashes every 2.5 s and rejoins 4 s later, for 40 s) and scores the
+time-averaged tree quality — the regime where hard-coded policies
+typically rot, because the system never reaches the steady state they
+were tuned for.
+
+Shape: Choice-CrystalBall maintains the shallowest time-averaged tree;
+Baseline and Choice-Random are comparable to each other.
+"""
+
+import statistics
+
+from repro.eval import run_churn_experiment
+
+from conftest import print_table
+
+SEEDS = (1, 2, 3)
+VARIANTS = ("baseline", "choice-random", "choice-crystalball")
+
+
+def run_all():
+    results = {}
+    for variant in VARIANTS:
+        outcomes = [run_churn_experiment(variant, seed=seed) for seed in SEEDS]
+        results[variant] = outcomes
+    return results
+
+
+def test_a5_continuous_churn(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for variant, outcomes in results.items():
+        rows.append((
+            variant,
+            f"{statistics.mean(o.mean_depth for o in outcomes):.2f}",
+            max(o.max_depth for o in outcomes),
+            f"{statistics.mean(o.mean_attached_fraction for o in outcomes):.0%}",
+        ))
+    print_table(
+        "A5: time-averaged tree quality under continuous churn",
+        ("variant", "mean depth", "worst depth", "attached"),
+        rows,
+    )
+    mean_of = {
+        v: statistics.mean(o.mean_depth for o in outcomes)
+        for v, outcomes in results.items()
+    }
+    assert mean_of["choice-crystalball"] < mean_of["baseline"]
+    assert mean_of["choice-crystalball"] < mean_of["choice-random"]
+    # Churn must actually be happening and the tree still mostly holds.
+    for outcomes in results.values():
+        for outcome in outcomes:
+            assert outcome.churn_events >= 10
+            assert outcome.mean_attached_fraction > 0.8

@@ -1,0 +1,58 @@
+"""A6 — extension: does tree quality track system size?
+
+The paper evaluates at one size (31 nodes).  A reproduction worth
+adopting should show how the result scales: optimal depth grows as
+log2(n); the measured join depth should stay within a small constant of
+it at every size, for every setup, and Choice-CrystalBall should stay
+at least as good as the hard-coded policies throughout.
+"""
+
+from repro.eval import optimal_depth, run_tree_experiment
+
+from conftest import print_table
+
+SIZES = (15, 31, 63)
+VARIANTS = ("baseline", "choice-random", "choice-crystalball")
+SEED = 1
+
+
+def run_all():
+    results = {}
+    for n in SIZES:
+        for variant in VARIANTS:
+            outcome = run_tree_experiment(variant, n=n, seed=SEED)
+            results[(n, variant)] = outcome
+    return results
+
+
+def test_a6_depth_scaling(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for n in SIZES:
+        for variant in VARIANTS:
+            outcome = results[(n, variant)]
+            rows.append((
+                n, optimal_depth(n, 2), variant,
+                outcome.depth_after_join, outcome.depth_after_rejoin,
+                f"{outcome.joined_after_rejoin}/{n}",
+            ))
+    print_table(
+        "A6: join/rejoin depth vs system size (seed 1)",
+        ("n", "optimal", "variant", "join depth", "rejoin depth", "joined"),
+        rows,
+    )
+    for n in SIZES:
+        for variant in VARIANTS:
+            outcome = results[(n, variant)]
+            # Everyone always joins, at every scale.
+            assert outcome.joined_after_join == n
+            assert outcome.joined_after_rejoin == n
+            # Depth stays within a small constant of optimal.
+            assert outcome.depth_after_join <= optimal_depth(n, 2) + 2
+        # CrystalBall at least matches the others after the rejoin.
+        crystal = results[(n, "choice-crystalball")].depth_after_rejoin
+        others = min(
+            results[(n, "baseline")].depth_after_rejoin,
+            results[(n, "choice-random")].depth_after_rejoin,
+        )
+        assert crystal <= others + 1

@@ -1,0 +1,38 @@
+"""E1 — Section 4 development-effort comparison.
+
+Paper: "Exposing choices results in a 43% decrease in lines of code
+(from 487 to 280). ... the complexity of the new code is 0.28, which is
+significantly lower than the baseline (1.94)."
+
+We measure the same two metrics on our baseline vs choice-exposed
+RandTree implementations.  Absolute LoC differ (Python vs Mace C++);
+the reduction percentage and the complexity ratio are the reproducible
+shape.
+"""
+
+from repro.metrics import compare_randtree
+
+from conftest import print_table
+
+PAPER_LOC = (487, 280)
+PAPER_COMPLEXITY = (1.94, 0.28)
+
+
+def test_e1_code_metrics(benchmark):
+    report = benchmark.pedantic(compare_randtree, rounds=3, iterations=1)
+    rows = [
+        ("lines of code", f"{PAPER_LOC[0]} -> {PAPER_LOC[1]}",
+         f"{report.baseline.loc} -> {report.exposed.loc}"),
+        ("LoC reduction", "43%", f"{report.loc_reduction:.0%}"),
+        ("if-else per handler",
+         f"{PAPER_COMPLEXITY[0]} -> {PAPER_COMPLEXITY[1]}",
+         f"{report.baseline.branches_per_handler:.2f} -> "
+         f"{report.exposed.branches_per_handler:.2f}"),
+        ("complexity ratio",
+         f"{PAPER_COMPLEXITY[0] / PAPER_COMPLEXITY[1]:.1f}x",
+         f"{report.baseline.branches_per_handler / report.exposed.branches_per_handler:.1f}x"),
+    ]
+    print_table("E1: exposing choices vs baseline (RandTree)",
+                ("metric", "paper", "measured"), rows)
+    assert report.loc_reduction > 0.20
+    assert report.baseline.branches_per_handler / report.exposed.branches_per_handler > 3.0

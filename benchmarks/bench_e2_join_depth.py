@@ -1,0 +1,37 @@
+"""E2 — Section 4 join-phase tree depth.
+
+Paper: "After all 31 participants join the tree, the maximum depth is 6
+in all cases (close to the optimal of 5)."
+
+31 nodes join a RandTree over an Internet-like transit-stub topology in
+all three setups; the maximum depth must be near-optimal and equal (or
+nearly so) across setups.
+"""
+
+import pytest
+
+from repro.eval import optimal_depth, run_tree_experiment
+
+from conftest import print_table
+
+SEED = 1
+PAPER_DEPTH = 6
+
+
+@pytest.mark.parametrize("variant", ["baseline", "choice-random", "choice-crystalball"])
+def test_e2_join_depth(benchmark, variant):
+    result = benchmark.pedantic(
+        run_tree_experiment, args=(variant,), kwargs={"seed": SEED},
+        rounds=1, iterations=1,
+    )
+    print_table(
+        f"E2: depth after 31 joins ({variant})",
+        ("metric", "paper", "measured"),
+        [
+            ("max depth", PAPER_DEPTH, result.depth_after_join),
+            ("optimal", 5, optimal_depth(31, 2)),
+            ("joined", "31/31", f"{result.joined_after_join}/31"),
+        ],
+    )
+    assert result.joined_after_join == 31
+    assert optimal_depth(31, 2) <= result.depth_after_join <= PAPER_DEPTH + 1

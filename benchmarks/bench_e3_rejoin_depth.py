@@ -1,0 +1,58 @@
+"""E3 — Section 4 failure/rejoin tree depth (the headline result).
+
+Paper: "We then fail an entire subtree (about half of the nodes), and
+then let these nodes rejoin.  Baseline and Choice-Random exhibit
+identical maximum depth (10), while the Choice-CrystalBall version is
+better with 9 levels."
+
+Shape to reproduce: after the failure/rejoin, Choice-CrystalBall's tree
+is at most as deep as the other two setups, and strictly shallower in
+the aggregate (the absolute depths differ — our rejoin storm differs
+from the paper's testbed timing).
+"""
+
+import statistics
+
+from repro.eval import run_tree_experiment
+
+from conftest import print_table
+
+SEEDS = (1, 2, 3, 4, 5)
+PAPER = {"baseline": 10, "choice-random": 10, "choice-crystalball": 9}
+
+
+def run_all():
+    results = {}
+    for variant in PAPER:
+        depths = [
+            run_tree_experiment(variant, seed=seed).depth_after_rejoin
+            for seed in SEEDS
+        ]
+        results[variant] = depths
+    return results
+
+
+def test_e3_rejoin_depth(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (variant, PAPER[variant],
+         f"{statistics.mean(depths):.2f}", str(depths))
+        for variant, depths in results.items()
+    ]
+    print_table(
+        "E3: max depth after failing a subtree and rejoining",
+        ("variant", "paper", "measured mean", "per-seed"),
+        rows,
+    )
+    baseline = statistics.mean(results["baseline"])
+    random_mean = statistics.mean(results["choice-random"])
+    crystal = statistics.mean(results["choice-crystalball"])
+    # Paper shape: Baseline ~= Choice-Random, Choice-CrystalBall better.
+    assert abs(baseline - random_mean) <= 1.0
+    assert crystal < baseline
+    assert crystal <= random_mean
+    # CrystalBall never worse on any seed.
+    for seed_index in range(len(SEEDS)):
+        assert (results["choice-crystalball"][seed_index]
+                <= max(results["baseline"][seed_index],
+                       results["choice-random"][seed_index]))

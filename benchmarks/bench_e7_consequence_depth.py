@@ -1,0 +1,109 @@
+"""E7 — Section 2 consequence-prediction speed claim.
+
+Paper: "Consequence prediction focuses on exploring causally related
+chains of events, and is fast enough to look several levels of state
+space into the future fairly quickly (e.g., in 10 seconds) on today's
+hardware."
+
+Two measurements on a live 31-node RandTree snapshot:
+
+1. chain depth vs states explored vs wall time — several levels of
+   lookahead must complete in (well under) 10 seconds;
+2. the ablation behind the design: consequence prediction (causal
+   chains) vs plain bounded BFS at equal depth — chains must explore
+   far fewer states for the same horizon.
+"""
+
+import time
+
+from repro.apps.randtree import (
+    RandTreeConfig,
+    make_exposed_factory,
+    randtree_properties,
+)
+from repro.choice.resolvers import RandomResolver
+from repro.mc import ConsequencePredictor, Explorer, world_from_services
+from repro.statemachine import Cluster
+
+from conftest import print_table
+
+PAPER_BUDGET_SECONDS = 10.0
+
+
+def build_snapshot(n=31, seed=1):
+    """A settled 31-node tree, its pending timers, and one in-flight
+    join request (so exploration has a deep causal cascade to follow:
+    the join forwards level by level down the tree)."""
+    from repro.apps.randtree import Join
+    from repro.mc import InFlightMessage
+
+    config = RandTreeConfig()
+    factory = make_exposed_factory(config)
+    cluster = Cluster(n, factory, seed=seed,
+                      resolver_factory=lambda nid: RandomResolver(seed))
+    cluster.start_all()
+    cluster.run(until=20.0)
+    world = world_from_services(cluster.services, cluster.nodes, time=cluster.sim.now)
+    world.inflight.append(InFlightMessage(5, 0, Join(joiner=5)))
+    return factory, world, config
+
+
+def test_e7_depth_vs_states(benchmark):
+    factory, world, config = build_snapshot()
+    explorer = Explorer(factory, properties=randtree_properties(config))
+
+    def sweep():
+        rows = []
+        for depth in (1, 2, 3, 4, 5, 6):
+            predictor = ConsequencePredictor(explorer, chain_depth=depth,
+                                             budget=50_000)
+            start = time.perf_counter()
+            report = predictor.predict(world)
+            elapsed = time.perf_counter() - start
+            rows.append((depth, report.total_states, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E7: consequence prediction depth vs states vs wall time",
+        ("chain depth", "states", "seconds"),
+        [(d, s, f"{t:.3f}") for d, s, t in rows],
+    )
+    # States grow with depth; even the deepest sweep finishes well
+    # inside the paper's 10-second budget.
+    states = [s for _, s, _ in rows]
+    assert states == sorted(states)
+    assert all(t < PAPER_BUDGET_SECONDS for _, _, t in rows)
+    assert rows[-1][0] >= 5  # "several levels into the future"
+
+
+def test_e7_chains_vs_bfs_ablation(benchmark):
+    factory, world, config = build_snapshot()
+    explorer = Explorer(factory, properties=randtree_properties(config))
+    depth = 3
+
+    def compare():
+        predictor = ConsequencePredictor(explorer, chain_depth=depth, budget=50_000)
+        chain_start = time.perf_counter()
+        report = predictor.predict(world)
+        chain_time = time.perf_counter() - chain_start
+        bfs_start = time.perf_counter()
+        bfs = explorer.bfs(world, max_depth=depth, max_states=20_000)
+        bfs_time = time.perf_counter() - bfs_start
+        return report.total_states, chain_time, bfs.states_explored, bfs_time, bfs.truncated
+
+    chain_states, chain_time, bfs_states, bfs_time, truncated = benchmark.pedantic(
+        compare, rounds=1, iterations=1,
+    )
+    print_table(
+        f"E7 ablation: causal chains vs full BFS at depth {depth}",
+        ("strategy", "states", "seconds"),
+        [
+            ("consequence prediction", chain_states, f"{chain_time:.3f}"),
+            ("bounded BFS" + (" (truncated)" if truncated else ""),
+             bfs_states, f"{bfs_time:.3f}"),
+        ],
+    )
+    # The whole point of consequence prediction: far fewer states for
+    # the same lookahead horizon.
+    assert chain_states * 5 < bfs_states

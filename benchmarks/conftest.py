@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` regenerates one table/figure from the paper (see
+DESIGN.md's experiment index) and prints a paper-vs-measured comparison.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a small aligned comparison table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

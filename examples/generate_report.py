@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Regenerate the results report by running the experiments.
+
+Usage::
+
+    python examples/generate_report.py            # quick scope, ~2 min
+    python examples/generate_report.py full       # paper-scale, longer
+    python examples/generate_report.py quick out.md
+
+Writes Markdown to stdout or the given file.
+"""
+
+import sys
+
+from repro.eval.report import generate_report
+
+
+def main() -> int:
+    scope = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    report = generate_report(scope=scope)
+    if len(sys.argv) > 2:
+        with open(sys.argv[2], "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {sys.argv[2]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Reproduction of "Simplifying Distributed System Development" (HotOS 2009).
+
+A choice-exposing programming model for distributed systems with a
+predictive CrystalBall runtime, plus every substrate it runs on:
+
+- ``repro.sim`` — deterministic discrete-event simulation
+- ``repro.net`` — network emulation (latency/bandwidth/loss, topologies)
+- ``repro.statemachine`` — Mace-like state-machine service framework
+- ``repro.choice`` — exposed choices, resolvers, and objectives
+- ``repro.model`` — predictive network and state models
+- ``repro.mc`` — explicit-state model checking / consequence prediction
+- ``repro.runtime`` — the CrystalBall runtime (steering, prediction)
+- ``repro.apps`` — RandTree, gossip, content distribution, Paxos
+- ``repro.metrics`` — code metrics for the Section 4 comparison
+- ``repro.eval`` — experiment harness
+
+See README.md and DESIGN.md for the architecture and experiment index.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,6 @@
+"""Distributed applications built on the reproduction's substrates.
+
+``randtree`` is the paper's case study (Section 4); ``gossip``,
+``dissemination``, and ``paxos`` implement the motivating examples of
+Section 3.1 as runnable systems.
+"""

@@ -1,0 +1,42 @@
+"""Content distribution with exposed next-block choice (Section 3.1)."""
+
+from .common import (
+    BLOCK_BYTES,
+    Bitfield,
+    BlockData,
+    BlockRequest,
+    DisseminationConfig,
+    HaveBlock,
+    all_complete,
+    completion_times,
+)
+from .resolvers import AdaptiveBlockResolver, RarestBlockResolver
+from .service import (
+    BASELINE_STRATEGIES,
+    BaselineSwarm,
+    ExposedSwarm,
+    SwarmBase,
+    make_baseline_swarm_factory,
+    make_exposed_swarm_factory,
+    make_views,
+)
+
+__all__ = [
+    "BLOCK_BYTES",
+    "Bitfield",
+    "BlockData",
+    "BlockRequest",
+    "DisseminationConfig",
+    "HaveBlock",
+    "all_complete",
+    "completion_times",
+    "AdaptiveBlockResolver",
+    "RarestBlockResolver",
+    "BASELINE_STRATEGIES",
+    "BaselineSwarm",
+    "ExposedSwarm",
+    "SwarmBase",
+    "make_baseline_swarm_factory",
+    "make_exposed_swarm_factory",
+    "make_views",
+]

@@ -1,0 +1,104 @@
+"""Shared content-distribution protocol pieces.
+
+Section 3.1's content-distribution example: "The BulletPrime and
+BitTorrent content distribution systems have two different mechanisms
+for choosing the next block to request from any given peer, namely
+random and rarest-random.  Experimental results show that neither of
+these strategies is decidedly superior."  The decision this application
+exposes is exactly that *next-block choice*; E5 sweeps deployments
+(scarce single seed vs abundant seeds) to show the crossover and that a
+runtime-resolved choice tracks the better policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ...statemachine import Message
+
+BLOCK_BYTES = 65_536
+
+
+@dataclass
+class Bitfield(Message):
+    """Full availability summary, sent when peers first meet."""
+
+    blocks: List[int]
+
+    def wire_size(self) -> int:
+        return 64 + 4 * max(1, len(self.blocks))
+
+
+@dataclass
+class HaveBlock(Message):
+    """Announcement of a newly completed block."""
+
+    block: int
+
+
+@dataclass
+class BlockRequest(Message):
+    """Request for one block's data."""
+
+    block: int
+
+
+@dataclass
+class BlockData(Message):
+    """One block of actual content (the expensive message)."""
+
+    block: int
+
+    def wire_size(self) -> int:
+        return 64 + BLOCK_BYTES
+
+
+@dataclass(frozen=True)
+class DisseminationConfig:
+    """Swarm parameters.
+
+    ``seeds`` hold the whole file from the start; every other node is a
+    leecher.  ``view_size`` peers are visible to each node (BitTorrent's
+    tracker-provided random subset).  ``max_outstanding`` bounds
+    concurrent requests per leecher; ``request_timeout`` re-issues
+    requests lost to churn.
+    """
+
+    n: int = 17
+    block_count: int = 48
+    seeds: Tuple[int, ...] = (0,)
+    view_size: int = 8
+    tick_period: float = 0.1
+    max_outstanding: int = 2
+    request_timeout: float = 5.0
+
+
+def completion_times(services) -> List[float]:
+    """``completed_at`` of every finished leecher (seeds excluded)."""
+    return sorted(
+        service.completed_at
+        for service in services
+        if service.completed_at is not None and not service.is_seed
+    )
+
+
+def all_complete(services) -> bool:
+    """Whether every leecher holds the full file."""
+    return all(
+        service.completed_at is not None
+        for service in services
+        if not service.is_seed
+    )
+
+
+__all__ = [
+    "BLOCK_BYTES",
+    "Bitfield",
+    "HaveBlock",
+    "BlockRequest",
+    "BlockData",
+    "DisseminationConfig",
+    "completion_times",
+    "all_complete",
+]

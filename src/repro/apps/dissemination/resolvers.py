@@ -1,0 +1,69 @@
+"""Resolvers for the exposed next-block choice.
+
+A *policy as resolver*: the same service code runs random,
+rarest-random, or the adaptive policy depending on which resolver the
+node carries — the paper's claim that the strategy belongs in the
+runtime, not in the application.
+
+The adaptive resolver implements the judgement BitTorrent hard-codes as
+a one-time ad-hoc switch: when some needed block is scarce (few
+replicas), behave rarest-first to keep the swarm's piece diversity;
+when everything is well replicated, request uniformly at random to
+spread load off the herd.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...choice.choicepoint import ChoicePoint, ChoiceResolver
+
+
+def _node_rng(node: Optional[Any], name: str):
+    if node is None:
+        return None
+    return node.sim.rng.stream(f"node{node.node_id}.{name}")
+
+
+class RarestBlockResolver(ChoiceResolver):
+    """Rarest-random: uniform among the least-replicated candidates."""
+
+    name = "rarest-block"
+
+    def resolve(self, point: ChoicePoint, node: Optional[Any] = None) -> Any:
+        counts = point.info.get("counts", {})
+        rarest = min(counts.get(b, 0) for b in point.candidates)
+        pool = [b for b in point.candidates if counts.get(b, 0) == rarest]
+        rng = _node_rng(node, "rarest-block")
+        if rng is None:
+            return pool[0]
+        return pool[rng.randrange(len(pool))]
+
+
+class AdaptiveBlockResolver(ChoiceResolver):
+    """Scarcity-aware switch between rarest-random and random.
+
+    ``scarcity_threshold`` is the replication count at or below which a
+    block is considered endangered; while any candidate is endangered
+    the resolver plays rarest-random, otherwise uniform random.
+    """
+
+    name = "adaptive-block"
+
+    def __init__(self, scarcity_threshold: int = 2) -> None:
+        self.scarcity_threshold = scarcity_threshold
+
+    def resolve(self, point: ChoicePoint, node: Optional[Any] = None) -> Any:
+        counts = point.info.get("counts", {})
+        rng = _node_rng(node, "adaptive-block")
+        rarest = min(counts.get(b, 0) for b in point.candidates)
+        if rarest <= self.scarcity_threshold:
+            pool = [b for b in point.candidates if counts.get(b, 0) == rarest]
+        else:
+            pool = list(point.candidates)
+        if rng is None:
+            return pool[0]
+        return pool[rng.randrange(len(pool))]
+
+
+__all__ = ["RarestBlockResolver", "AdaptiveBlockResolver"]

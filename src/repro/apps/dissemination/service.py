@@ -1,0 +1,247 @@
+"""Swarm services: block exchange with pluggable next-block policy.
+
+:class:`SwarmBase` implements the shared mechanics (handshakes,
+availability tracking, request pipelining, timeouts).  The *next-block*
+decision — the one BulletPrime and BitTorrent hard-code differently —
+is left abstract: :class:`BaselineSwarm` buries a strategy flag
+(``"random"`` or ``"rarest"``), :class:`ExposedSwarm` exposes the
+choice to the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...statemachine import Service, msg_handler, timer_handler
+from .common import (
+    Bitfield,
+    BlockData,
+    BlockRequest,
+    DisseminationConfig,
+    HaveBlock,
+)
+
+
+class SwarmBase(Service):
+    """Common swarm mechanics; subclasses supply the block policy."""
+
+    state_fields = ("have", "peers", "availability", "outstanding", "completed_at")
+
+    def __init__(
+        self,
+        node_id: int,
+        config: DisseminationConfig,
+        view: List[int],
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.view = list(view)
+        self.have: Set[int] = set()
+        self.peers: List[int] = []
+        self.availability: Dict[int, Set[int]] = {}
+        # block -> (peer, requested_at)
+        self.outstanding: Dict[int, tuple] = {}
+        self.completed_at: Optional[float] = None
+
+    @property
+    def is_seed(self) -> bool:
+        """Whether this node started with the full file."""
+        return self.node_id in self.config.seeds
+
+    def on_init(self) -> None:
+        if self.is_seed:
+            self.have = set(range(self.config.block_count))
+            self.completed_at = self.now()
+        self.peers = list(self.view)
+        for peer in self.view:
+            self.send(peer, Bitfield(blocks=sorted(self.have)))
+        self.set_timer("tick", self.config.tick_period)
+
+    # ------------------------------------------------------------------
+    # Peer/availability bookkeeping
+    # ------------------------------------------------------------------
+
+    @msg_handler(Bitfield)
+    def on_bitfield(self, src: int, msg: Bitfield) -> None:
+        newly_met = src not in self.availability
+        self.availability[src] = set(msg.blocks)
+        if src not in self.peers:
+            self.peers.append(src)
+        if newly_met:
+            self.send(src, Bitfield(blocks=sorted(self.have)))
+
+    @msg_handler(HaveBlock)
+    def on_have(self, src: int, msg: HaveBlock) -> None:
+        self.availability.setdefault(src, set()).add(msg.block)
+        if src not in self.peers:
+            self.peers.append(src)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    @msg_handler(BlockRequest)
+    def on_request(self, src: int, msg: BlockRequest) -> None:
+        if msg.block in self.have:
+            self.send(src, BlockData(block=msg.block))
+
+    @msg_handler(BlockData)
+    def on_block(self, src: int, msg: BlockData) -> None:
+        self.outstanding.pop(msg.block, None)
+        if msg.block in self.have:
+            return
+        self.have.add(msg.block)
+        if len(self.have) >= self.config.block_count and self.completed_at is None:
+            self.completed_at = self.now()
+            self.record("swarm.complete", blocks=len(self.have))
+        for peer in self.peers:
+            self.send(peer, HaveBlock(block=msg.block))
+
+    # ------------------------------------------------------------------
+    # Request scheduling
+    # ------------------------------------------------------------------
+
+    @timer_handler("tick")
+    def on_tick(self, payload) -> None:
+        if not self.is_seed and self.completed_at is None:
+            self._prune_outstanding()
+            while len(self.outstanding) < self.config.max_outstanding:
+                if not self._issue_one_request():
+                    break
+        self.set_timer("tick", self.config.tick_period)
+
+    def _prune_outstanding(self) -> None:
+        now = self.now()
+        expired = [
+            block for block, (_, at) in self.outstanding.items()
+            if now - at > self.config.request_timeout
+        ]
+        for block in expired:
+            del self.outstanding[block]
+
+    def _issue_one_request(self) -> bool:
+        needed = set(range(self.config.block_count)) - self.have - set(self.outstanding)
+        if not needed:
+            return False
+        useful = [
+            peer for peer in sorted(self.availability)
+            if self.availability[peer] & needed
+        ]
+        if not useful:
+            return False
+        peer = useful[self.rng("peer").randrange(len(useful))]
+        candidates = sorted(self.availability[peer] & needed)
+        block = self.pick_block(peer, candidates)
+        self.outstanding[block] = (peer, self.now())
+        self.send(peer, BlockRequest(block=block))
+        return True
+
+    def block_counts(self, blocks) -> Dict[int, int]:
+        """Replication count of each block across known peers."""
+        return {
+            block: sum(1 for have in self.availability.values() if block in have)
+            for block in blocks
+        }
+
+    def pick_block(self, peer: int, candidates: List[int]) -> int:
+        """The next-block decision (supplied by subclasses)."""
+        raise NotImplementedError
+
+
+BASELINE_STRATEGIES = ("random", "rarest")
+
+
+class BaselineSwarm(SwarmBase):
+    """Hard-coded next-block policy, selected by a constructor flag.
+
+    ``"random"`` requests a uniformly random needed block (BitTorrent's
+    startup mode); ``"rarest"`` requests a uniformly random block among
+    those with the lowest replication count (BulletPrime's
+    rarest-random).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: DisseminationConfig,
+        view: List[int],
+        strategy: str = "rarest",
+    ) -> None:
+        super().__init__(node_id, config, view)
+        if strategy not in BASELINE_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {BASELINE_STRATEGIES}"
+            )
+        self.strategy = strategy
+
+    def pick_block(self, peer: int, candidates: List[int]) -> int:
+        rng = self.rng("block")
+        if self.strategy == "rarest":
+            counts = self.block_counts(candidates)
+            rarest = min(counts.values())
+            pool = [b for b in candidates if counts[b] == rarest]
+        else:
+            pool = candidates
+        return pool[rng.randrange(len(pool))]
+
+
+class ExposedSwarm(SwarmBase):
+    """Next-block decision exposed to the runtime.
+
+    The candidate list and the replication counts (the application's
+    contribution to the model, per Section 3.3.2) go to the resolver;
+    the policy — random, rarest, or adaptive — is whatever resolver the
+    node carries.
+    """
+
+    def pick_block(self, peer: int, candidates: List[int]) -> int:
+        return self.choose(
+            "next-block",
+            candidates,
+            peer=peer,
+            counts=self.block_counts(candidates),
+        )
+
+
+def make_views(n: int, view_size: int, seed: int) -> List[List[int]]:
+    """Tracker-style random peer views, one per node."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    views = []
+    for node_id in range(n):
+        others = [p for p in range(n) if p != node_id]
+        rng.shuffle(others)
+        views.append(sorted(others[: min(view_size, len(others))]))
+    return views
+
+
+def make_baseline_swarm_factory(
+    config: DisseminationConfig, views: List[List[int]], strategy: str,
+):
+    """Factory of baseline swarm services with per-node views."""
+
+    def factory(node_id: int) -> BaselineSwarm:
+        return BaselineSwarm(node_id, config, views[node_id], strategy)
+
+    return factory
+
+
+def make_exposed_swarm_factory(config: DisseminationConfig, views: List[List[int]]):
+    """Factory of exposed swarm services with per-node views."""
+
+    def factory(node_id: int) -> ExposedSwarm:
+        return ExposedSwarm(node_id, config, views[node_id])
+
+    return factory
+
+
+__all__ = [
+    "SwarmBase",
+    "BaselineSwarm",
+    "ExposedSwarm",
+    "BASELINE_STRATEGIES",
+    "make_views",
+    "make_baseline_swarm_factory",
+    "make_exposed_swarm_factory",
+]

@@ -1,0 +1,38 @@
+"""Epidemic dissemination with exposed peer choice (Section 3.1)."""
+
+from .baseline import STRATEGIES, BaselineGossip, make_baseline_gossip_factory
+from .common import (
+    GossipConfig,
+    GossipPullReply,
+    GossipPush,
+    all_delivered,
+    bar_partner,
+    coverage,
+    delivery_latencies,
+    mean_delivery_latency,
+)
+from .exposed import ExposedGossip, make_exposed_gossip_factory
+from .score import (
+    ModelGossipResolver,
+    gossip_peer_score,
+    make_model_gossip_resolver,
+)
+
+__all__ = [
+    "STRATEGIES",
+    "BaselineGossip",
+    "make_baseline_gossip_factory",
+    "GossipConfig",
+    "GossipPullReply",
+    "GossipPush",
+    "all_delivered",
+    "bar_partner",
+    "coverage",
+    "delivery_latencies",
+    "mean_delivery_latency",
+    "ExposedGossip",
+    "make_exposed_gossip_factory",
+    "ModelGossipResolver",
+    "gossip_peer_score",
+    "make_model_gossip_resolver",
+]

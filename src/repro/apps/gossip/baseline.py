@@ -1,0 +1,118 @@
+"""Baseline gossip: peer-selection strategy hard-coded in the service.
+
+Two buried strategies, selected by a constructor flag exactly the way
+deployed systems bake the policy in:
+
+* ``"random"`` — uniform random peer each round (classic epidemic).
+* ``"bar"`` — the BAR Gossip restriction: the single verifiable
+  pseudo-random partner for this round, regardless of how slow the
+  link to that partner is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...statemachine import Service, msg_handler, timer_handler
+from .common import GossipConfig, GossipPullReply, GossipPush, bar_partner
+
+STRATEGIES = ("random", "bar")
+
+
+class BaselineGossip(Service):
+    """Push-pull epidemic dissemination with a hard-coded peer policy."""
+
+    state_fields = ("known_at", "round", "published")
+
+    def __init__(
+        self,
+        node_id: int,
+        config: Optional[GossipConfig] = None,
+        strategy: str = "random",
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config if config is not None else GossipConfig()
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+        self.strategy = strategy
+        self.known_at: Dict[int, float] = {}
+        self.round = 0
+        self.published = 0
+
+    @property
+    def known(self):
+        """The set of rumor ids this node holds."""
+        return set(self.known_at)
+
+    def on_init(self) -> None:
+        if self.node_id == self.config.source:
+            if self.config.publish_interval <= 0:
+                for rumor in range(self.config.rumor_count):
+                    self.known_at[rumor] = self.now()
+                self.published = self.config.rumor_count
+            else:
+                self.set_timer("publish", 0.0)
+        self.set_timer("gossip", self.config.round_period)
+
+    @timer_handler("publish")
+    def on_publish(self, payload) -> None:
+        if self.published < self.config.rumor_count:
+            self.known_at[self.published] = self.now()
+            self.published += 1
+            self.set_timer("publish", self.config.publish_interval)
+
+    @timer_handler("gossip")
+    def on_gossip_round(self, payload) -> None:
+        self.round += 1
+        if self.known_at:
+            # The buried policy: strategy-specific peer selection.
+            if self.strategy == "bar":
+                peer = bar_partner(self.node_id, self.round, self.config.n)
+            else:
+                rng = self.rng("peer")
+                peer = rng.randrange(self.config.n - 1)
+                if peer >= self.node_id:
+                    peer += 1
+            self.send(peer, self._make_push())
+        self.set_timer("gossip", self.config.round_period)
+
+    def _make_push(self) -> GossipPush:
+        # Payload budget goes to the newest rumors (streaming freshness).
+        newest = sorted(self.known_at, reverse=True)[: self.config.push_limit]
+        return GossipPush(
+            have_ids=sorted(self.known_at), payload_rumors=newest, round=self.round,
+        )
+
+    @msg_handler(GossipPush)
+    def on_push(self, src: int, msg: GossipPush) -> None:
+        now = self.now()
+        for rumor in msg.payload_rumors:
+            if rumor not in self.known_at:
+                self.known_at[rumor] = now
+        sender_has = set(msg.have_ids) | set(msg.payload_rumors)
+        missing_there = sorted(set(self.known_at) - sender_has, reverse=True)
+        if missing_there:
+            self.send(
+                src,
+                GossipPullReply(payload_rumors=missing_there[: self.config.push_limit]),
+            )
+
+    @msg_handler(GossipPullReply)
+    def on_pull_reply(self, src: int, msg: GossipPullReply) -> None:
+        now = self.now()
+        for rumor in msg.payload_rumors:
+            if rumor not in self.known_at:
+                self.known_at[rumor] = now
+
+
+def make_baseline_gossip_factory(config: Optional[GossipConfig] = None, strategy: str = "random"):
+    """Factory of baseline gossip services sharing one configuration."""
+    cfg = config if config is not None else GossipConfig()
+
+    def factory(node_id: int) -> BaselineGossip:
+        return BaselineGossip(node_id, cfg, strategy)
+
+    return factory
+
+
+__all__ = ["BaselineGossip", "make_baseline_gossip_factory", "STRATEGIES"]

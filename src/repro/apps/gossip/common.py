@@ -1,0 +1,140 @@
+"""Shared gossip protocol pieces.
+
+Epidemic dissemination (Section 3.1): "Nodes in epidemic dissemination
+protocols periodically pick a node from their views to exchange data."
+The decision this application exposes is the *peer choice* each round.
+BAR Gossip restricts it to one verifiable pseudo-random partner per
+round (robust, but "performance might suffer if, e.g., the only target
+is behind a slow network connection"); FlightPath relaxes the choice
+for performance.
+
+The workload is streaming (as in BAR Gossip's media streaming): the
+source publishes a new rumor every ``publish_interval`` seconds, and
+the figure of merit is the mean delivery latency of a rumor across all
+nodes, plus message overhead.  Services track ``known_at`` — when each
+rumor id arrived — so latency can be computed exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...statemachine import Message
+
+
+RUMOR_BYTES = 16_384
+ID_BYTES = 16
+
+
+@dataclass
+class GossipPush(Message):
+    """One bounded exchange: a cheap summary plus a few rumor payloads.
+
+    ``have_ids`` is the sender's full rumor-id summary (metadata only —
+    the receiver does *not* gain those rumors); ``payload_rumors`` are
+    the ids whose actual data is included, bounded by the per-round
+    exchange budget, which is what makes the peer choice matter.
+    """
+
+    have_ids: List[int]
+    payload_rumors: List[int]
+    round: int
+
+    def wire_size(self) -> int:
+        return 64 + ID_BYTES * len(self.have_ids) + RUMOR_BYTES * len(self.payload_rumors)
+
+
+@dataclass
+class GossipPullReply(Message):
+    """Payloads for rumors the pusher was missing (budget-bounded)."""
+
+    payload_rumors: List[int]
+
+    def wire_size(self) -> int:
+        return 64 + RUMOR_BYTES * len(self.payload_rumors)
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Protocol parameters.
+
+    ``publish_interval == 0`` publishes every rumor at start (one-shot
+    dissemination); otherwise rumor ``k`` is published at
+    ``k * publish_interval`` (streaming).  ``push_limit`` bounds the
+    rumor payloads carried per push and per pull-reply, the BAR-style
+    bounded exchange.
+    """
+
+    n: int = 32
+    round_period: float = 0.2
+    rumor_count: int = 8
+    source: int = 0
+    publish_interval: float = 0.0
+    push_limit: int = 2
+
+
+def bar_partner(node_id: int, round_number: int, n: int) -> int:
+    """The BAR Gossip partner: one verifiable pseudo-random peer per round.
+
+    Derived from a hash of (round, node), so any third party can verify
+    the node gossiped with its assigned partner — the property BAR
+    Gossip trades flexibility for.
+    """
+    digest = hashlib.sha256(f"bar:{round_number}:{node_id}".encode("utf-8")).digest()
+    partner = int.from_bytes(digest[:8], "big") % (n - 1)
+    if partner >= node_id:
+        partner += 1
+    return partner
+
+
+def all_delivered(services, rumor_count: int) -> bool:
+    """Whether every node knows every rumor."""
+    return all(len(service.known_at) >= rumor_count for service in services)
+
+
+def coverage(services, rumor_count: int) -> float:
+    """Fraction of (node, rumor) pairs delivered."""
+    total = len(services) * rumor_count
+    if total == 0:
+        return 1.0
+    have = sum(
+        sum(1 for rumor in service.known_at if rumor < rumor_count)
+        for service in services
+    )
+    return have / total
+
+
+def delivery_latencies(services, config: GossipConfig) -> List[float]:
+    """Per-(node, rumor) delivery latency relative to publish time.
+
+    Only rumors delivered everywhere appear for every node; undelivered
+    pairs are simply absent (check :func:`coverage` alongside).
+    """
+    latencies: List[float] = []
+    for service in services:
+        for rumor, arrived in service.known_at.items():
+            published = rumor * config.publish_interval
+            latencies.append(max(0.0, arrived - published))
+    return latencies
+
+
+def mean_delivery_latency(services, config: GossipConfig) -> Optional[float]:
+    """Mean delivery latency over all delivered (node, rumor) pairs."""
+    latencies = delivery_latencies(services, config)
+    if not latencies:
+        return None
+    return sum(latencies) / len(latencies)
+
+
+__all__ = [
+    "GossipPush",
+    "GossipPullReply",
+    "GossipConfig",
+    "bar_partner",
+    "all_delivered",
+    "coverage",
+    "delivery_latencies",
+    "mean_delivery_latency",
+]

@@ -1,0 +1,123 @@
+"""Model-based resolution for the gossip peer choice.
+
+This is the light-weight end of the paper's design space: instead of
+full consequence prediction, the resolver consults the runtime's
+*models* directly (Section 3.4's "choices based on previous similar
+scenarios as a fast alternative").  A peer scores high when
+
+* the state model says it is missing rumors we hold (novelty), and
+* the network model says the link to it is fast (low RTT).
+
+Two corrections a pure argmax would get wrong (and measurably did, see
+EXPERIMENTS.md E4): a *recency penalty* remembers our own recent pushes
+(the state model only learns a peer's new rumors when its next
+checkpoint arrives), and a small *score jitter* decorrelates nodes that
+share the same view so the whole system does not herd onto one target.
+
+Requires a CrystalBall runtime on the node (for its models); without
+one the resolver falls back to uniform random choice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ...choice.choicepoint import ChoicePoint, ChoiceResolver
+
+# Floor on the per-exchange cost so the rate stays bounded: even a
+# zero-latency peer costs about one gossip round to serve.
+MIN_EXCHANGE_COST = 0.05
+
+
+def gossip_peer_score(candidate: int, point: ChoicePoint, node: Optional[Any]) -> float:
+    """Model score of a candidate gossip peer: novelty *rate*.
+
+    Expected new rumors delivered per unit time, i.e. novelty divided
+    by the predicted round-trip cost of the exchange.  A slow peer
+    missing many rumors can still win (someone must serve it), but not
+    while fast peers also have useful work — which is what minimizes
+    mean delivery latency.  A plain ``novelty - w*rtt`` difference gets
+    this wrong: it either herds onto slow always-novel peers or starves
+    them, depending on the weight (see EXPERIMENTS.md E4).
+    """
+    runtime = getattr(node, "crystalball", None) if node is not None else None
+    if runtime is None:
+        return 0.0
+    me = node.node_id
+    my_known = set(node.service.known)
+    peer_checkpoint = runtime.state_model.get(candidate)
+    if peer_checkpoint is None:
+        # Unknown peers are assumed maximally novel (optimism drives
+        # exploration toward nodes we have never exchanged with).
+        novelty = float(len(my_known))
+    else:
+        peer_known = set(peer_checkpoint.state.get("known_at", {}))
+        novelty = float(len(my_known - peer_known))
+    rtt = runtime.network_model.rtt(me, candidate)
+    return novelty / (rtt + MIN_EXCHANGE_COST)
+
+
+class ModelGossipResolver(ChoiceResolver):
+    """Score-proportional sampling over the runtime's models.
+
+    Argmax resolution herds: every node with a similar (stale) view
+    picks the same target, which serializes behind one link.  Sampling
+    each candidate with probability proportional to its novelty-rate
+    score keeps the fleet decorrelated while still biasing exchanges
+    toward fast, useful peers.  A recency damp models our own in-flight
+    pushes that the state model has not caught up with yet.
+    """
+
+    name = "gossip-model"
+
+    def __init__(
+        self,
+        base_weight: float = 2.0,
+        recency_damp: float = 0.2,
+        recency_window: float = 0.6,
+    ) -> None:
+        self.base_weight = base_weight
+        self.recency_damp = recency_damp
+        self.recency_window = recency_window
+        self._last_pushed: Dict[int, float] = {}
+
+    def resolve(self, point: ChoicePoint, node: Optional[Any] = None) -> Any:
+        if node is None:
+            return point.candidates[0]
+        rng = node.sim.rng.stream(f"node{node.node_id}.gossip-model")
+        if getattr(node, "crystalball", None) is None:
+            return rng.choice(point.candidates)
+        now = node.sim.now
+        weights = []
+        for candidate in point.candidates:
+            weight = max(0.0, gossip_peer_score(candidate, point, node)) + self.base_weight
+            last = self._last_pushed.get(candidate)
+            if last is not None and now - last < self.recency_window:
+                weight *= self.recency_damp
+            weights.append(weight)
+        total = sum(weights)
+        if total <= 0:
+            return rng.choice(point.candidates)
+        pick = rng.random() * total
+        cumulative = 0.0
+        chosen = point.candidates[-1]
+        for candidate, weight in zip(point.candidates, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                chosen = candidate
+                break
+        self._last_pushed[chosen] = now
+        return chosen
+
+
+def make_model_gossip_resolver(**kwargs: Any) -> ModelGossipResolver:
+    """A resolver using the runtime's network and state models."""
+    return ModelGossipResolver(**kwargs)
+
+
+__all__ = [
+    "gossip_peer_score",
+    "ModelGossipResolver",
+    "make_model_gossip_resolver",
+    "MIN_EXCHANGE_COST",
+]

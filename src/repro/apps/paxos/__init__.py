@@ -1,0 +1,51 @@
+"""Paxos consensus with an exposed proposer choice (Section 3.1)."""
+
+from .messages import (
+    Accept,
+    AcceptedMsg,
+    ClientRequest,
+    Command,
+    Learn,
+    NO_BALLOT,
+    NOOP,
+    Nack,
+    PaxosConfig,
+    Prepare,
+    Promise,
+    ballot_proposer,
+    make_ballot,
+    slot_owner,
+)
+from .replica import (
+    ExposedPaxos,
+    FixedLeaderPaxos,
+    MenciusPaxos,
+    PaxosReplica,
+    make_paxos_factory,
+)
+from .score import make_proposer_resolver, predicted_commit_latency, proposer_score
+
+__all__ = [
+    "Accept",
+    "AcceptedMsg",
+    "ClientRequest",
+    "Command",
+    "Learn",
+    "NO_BALLOT",
+    "NOOP",
+    "Nack",
+    "PaxosConfig",
+    "Prepare",
+    "Promise",
+    "ballot_proposer",
+    "make_ballot",
+    "slot_owner",
+    "ExposedPaxos",
+    "FixedLeaderPaxos",
+    "MenciusPaxos",
+    "PaxosReplica",
+    "make_paxos_factory",
+    "make_proposer_resolver",
+    "predicted_commit_latency",
+    "proposer_score",
+]

@@ -1,0 +1,152 @@
+"""Paxos wire protocol and configuration.
+
+Commands are ``(origin, sequence)`` tuples.  Ballots are integers
+encoding ``(round, proposer)`` as ``round * n + proposer``, so every
+proposer's ballots are unique and totally ordered; ``ballot < 0`` means
+"none yet".
+
+The instance space is partitioned by ownership, ``instance mod n``
+belonging to replica ``instance % n`` (the Mencius arrangement).  An
+owner proposing in its own slot may skip the prepare phase for its
+round-0 ballot — no other proposer uses that ballot, so acceptance is
+safe — giving the one-round-trip fast path; proposing in *any* slot
+with a higher ballot goes through the full two-phase protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ...statemachine import Message
+
+Command = Tuple[int, int]
+
+NO_BALLOT = -1
+
+# Mencius-style filler for skipped instances: idle owners decide NOOP in
+# their unused slots so the replicated log's executable prefix advances.
+NOOP: Command = (-1, -1)
+
+
+@dataclass(frozen=True)
+class PaxosConfig:
+    """Replica-group parameters.
+
+    ``processing_delays`` models per-replica CPU load: coordinating a
+    proposal costs the proposer that many seconds of (serialized) CPU
+    work before the accept round leaves the node — the "reduced
+    performance due to CPU overload" failure mode of a fixed proposer
+    (Section 3.1).  ``None`` means every replica is unloaded.
+    """
+
+    n: int = 5
+    request_interval: float = 1.0
+    requests_per_node: int = 10
+    retry_timeout: float = 2.0
+    retry_sweep_period: float = 0.5
+    gapfill_period: float = 1.0
+    processing_delays: Optional[Tuple[float, ...]] = None
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+    def processing_delay(self, node_id: int) -> float:
+        """The CPU cost of coordinating one proposal at ``node_id``."""
+        if self.processing_delays is None:
+            return 0.0
+        return self.processing_delays[node_id]
+
+
+def make_ballot(round_number: int, proposer: int, n: int) -> int:
+    """Encode a (round, proposer) ballot as a unique ordered integer."""
+    return round_number * n + proposer
+
+
+def ballot_proposer(ballot: int, n: int) -> int:
+    """The proposer that owns a ballot."""
+    return ballot % n
+
+
+def slot_owner(instance: int, n: int) -> int:
+    """The replica owning this instance's fast path."""
+    return instance % n
+
+
+@dataclass
+class ClientRequest(Message):
+    """A command forwarded to the replica chosen as its proposer."""
+
+    command: Command
+
+
+@dataclass
+class Prepare(Message):
+    """Phase 1a: ask acceptors to promise ballot for an instance."""
+
+    instance: int
+    ballot: int
+
+
+@dataclass
+class Promise(Message):
+    """Phase 1b: promise, reporting any previously accepted proposal."""
+
+    instance: int
+    ballot: int
+    accepted_ballot: int
+    accepted_value: Optional[Command]
+
+
+@dataclass
+class Accept(Message):
+    """Phase 2a: ask acceptors to accept a value at a ballot."""
+
+    instance: int
+    ballot: int
+    value: Command
+
+
+@dataclass
+class AcceptedMsg(Message):
+    """Phase 2b: acceptor accepted the proposal."""
+
+    instance: int
+    ballot: int
+    value: Command
+
+
+@dataclass
+class Nack(Message):
+    """Rejection carrying the acceptor's current promise, so the
+    proposer can escalate to a higher round."""
+
+    instance: int
+    promised: int
+
+
+@dataclass
+class Learn(Message):
+    """Commit notification broadcast once a value is chosen."""
+
+    instance: int
+    value: Command
+
+
+__all__ = [
+    "Command",
+    "NO_BALLOT",
+    "NOOP",
+    "PaxosConfig",
+    "make_ballot",
+    "ballot_proposer",
+    "slot_owner",
+    "ClientRequest",
+    "Prepare",
+    "Promise",
+    "Accept",
+    "AcceptedMsg",
+    "Nack",
+    "Learn",
+]

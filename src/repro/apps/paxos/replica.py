@@ -1,0 +1,382 @@
+"""Multi-instance Paxos replicas with pluggable proposer routing.
+
+:class:`PaxosReplica` implements all three roles (proposer, acceptor,
+learner) over an ownership-partitioned instance space (see
+``messages``): a replica sequences commands through its own slots with
+a one-round-trip fast path, and full two-phase Paxos with ballot
+escalation handles retries and contention.
+
+The paper's consensus example (Section 3.1): the original Paxos "does
+not offer a choice as to which node is allowed to propose a new value";
+Mencius rotates proposers round-robin for WAN performance; "we argue
+that an implementation can expose the choice of a proposer and let the
+runtime pick the best proposer".  Three subclasses give exactly those
+three designs over identical protocol code:
+
+* :class:`FixedLeaderPaxos` — every command forwarded to one leader;
+* :class:`MenciusPaxos` — every origin proposes its own commands;
+* :class:`ExposedPaxos` — the proposer is an exposed choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...statemachine import Service, msg_handler, timer_handler
+from .messages import (
+    Accept,
+    AcceptedMsg,
+    ClientRequest,
+    Command,
+    Learn,
+    NO_BALLOT,
+    NOOP,
+    Nack,
+    PaxosConfig,
+    Prepare,
+    Promise,
+    make_ballot,
+)
+
+
+class PaxosReplica(Service):
+    """One replica: proposer + acceptor + learner."""
+
+    state_fields = (
+        "promised", "accepted", "chosen",
+        "next_seq", "next_own_round", "proposals",
+        "my_requests", "committed", "cpu_queue",
+        "exec_upto", "executed",
+    )
+
+    def __init__(self, node_id: int, config: Optional[PaxosConfig] = None) -> None:
+        super().__init__(node_id)
+        self.config = config if config is not None else PaxosConfig()
+        # Acceptor state.
+        self.promised: Dict[int, int] = {}
+        self.accepted: Dict[int, list] = {}
+        # Learner state.
+        self.chosen: Dict[int, Command] = {}
+        # Proposer state.
+        self.next_seq = 0
+        self.next_own_round = 0
+        self.proposals: Dict[int, dict] = {}
+        # Client bookkeeping: command -> created_at / [created, committed].
+        self.my_requests: Dict[Command, float] = {}
+        self.committed: Dict[Command, list] = {}
+        # Commands waiting for this (loaded) replica's CPU.
+        self.cpu_queue: List[Command] = []
+        # Replicated-log execution: instances [0, exec_upto) are decided
+        # and applied; ``executed`` is the in-order command sequence
+        # (NOOP fillers excluded).
+        self.exec_upto = 0
+        self.executed: List[Command] = []
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+
+    def on_init(self) -> None:
+        self.set_timer("client", self.config.request_interval)
+        self.set_timer("retry-sweep", self.config.retry_sweep_period)
+        self.set_timer("gap-fill", self.config.gapfill_period)
+
+    @timer_handler("client")
+    def on_client_timer(self, payload) -> None:
+        if self.next_seq < self.config.requests_per_node:
+            command: Command = (self.node_id, self.next_seq)
+            self.next_seq += 1
+            self.my_requests[command] = self.now()
+            self.route_command(command)
+            self.set_timer("client", self.config.request_interval)
+
+    def route_command(self, command: Command) -> None:
+        """Deliver the command to its proposer (subclass policy)."""
+        raise NotImplementedError
+
+    @msg_handler(ClientRequest)
+    def on_client_request(self, src: int, msg: ClientRequest) -> None:
+        self.propose(msg.command)
+
+    # ------------------------------------------------------------------
+    # Proposer
+    # ------------------------------------------------------------------
+
+    def _replicas(self) -> List[int]:
+        return list(range(self.config.n))
+
+    def propose(self, command: Command) -> None:
+        """Queue a proposal through this replica's CPU, then coordinate.
+
+        An unloaded replica proposes immediately; a loaded one
+        serializes coordination work through its CPU queue,
+        ``processing_delay`` seconds apiece.
+        """
+        delay = self.config.processing_delay(self.node_id)
+        if delay <= 0:
+            self._coordinate(command)
+            return
+        self.cpu_queue.append(command)
+        if len(self.cpu_queue) == 1:
+            self.set_timer("cpu-drain", delay)
+
+    @timer_handler("cpu-drain")
+    def on_cpu_drain(self, payload) -> None:
+        if self.cpu_queue:
+            command = tuple(self.cpu_queue.pop(0))
+            self._coordinate(command)
+        if self.cpu_queue:
+            self.set_timer("cpu-drain", self.config.processing_delay(self.node_id))
+
+    def _coordinate(self, command: Command) -> None:
+        """Fast-path proposal in the next self-owned instance."""
+        instance = self.next_own_round * self.config.n + self.node_id
+        self.next_own_round += 1
+        self._coordinate_in(instance, command)
+
+    def _coordinate_in(self, instance: int, command: Command) -> None:
+        """Fast-path proposal in a specific self-owned instance.
+
+        The round-0 ballot of a self-owned slot cannot conflict, so the
+        proposal goes straight to phase 2 (one round trip to a
+        majority) — the Mencius-style optimization every variant shares.
+        """
+        ballot = make_ballot(0, self.node_id, self.config.n)
+        self.proposals[instance] = {
+            "ballot": ballot,
+            "value": command,
+            "proposing": command,
+            "phase": "accept",
+            "promise_from": [],
+            "best_accepted_ballot": NO_BALLOT,
+            "best_accepted_value": None,
+            "accepted_from": [],
+            "started_at": self.now(),
+        }
+        for peer in self._replicas():
+            self.send(peer, Accept(instance=instance, ballot=ballot, value=command))
+
+    def _escalate(self, instance: int, min_round: int) -> None:
+        """Restart an instance with full two-phase Paxos at a higher round."""
+        proposal = self.proposals.get(instance)
+        if proposal is None:
+            return
+        current_round = proposal["ballot"] // self.config.n
+        round_number = max(current_round + 1, min_round)
+        ballot = make_ballot(round_number, self.node_id, self.config.n)
+        proposal.update(
+            ballot=ballot,
+            phase="prepare",
+            promise_from=[],
+            best_accepted_ballot=NO_BALLOT,
+            best_accepted_value=None,
+            accepted_from=[],
+            started_at=self.now(),
+            proposing=proposal["value"],
+        )
+        for peer in self._replicas():
+            self.send(peer, Prepare(instance=instance, ballot=ballot))
+
+    @timer_handler("retry-sweep")
+    def on_retry_sweep(self, payload) -> None:
+        now = self.now()
+        rng = self.rng("retry")
+        for instance in sorted(self.proposals):
+            proposal = self.proposals[instance]
+            if now - proposal["started_at"] > self.config.retry_timeout:
+                # Randomized escalation breaks dueling-proposer
+                # symmetry: without it two contenders re-prepare in
+                # lock-step and livelock (the classic Paxos liveness
+                # caveat).
+                if rng.random() < 0.6:
+                    self._escalate(instance, proposal.get("min_round", 1))
+        self.set_timer("retry-sweep", self.config.retry_sweep_period)
+
+    @timer_handler("gap-fill")
+    def on_gap_fill(self, payload) -> None:
+        """Decide NOOP in our own skipped slots (Mencius skip messages).
+
+        Once instances beyond our partition's frontier are decided, our
+        unused slots block every replica's executable prefix; an idle
+        owner fills them with no-ops.
+        """
+        max_chosen = max(self.chosen, default=-1)
+        while self.next_own_round * self.config.n + self.node_id < max_chosen:
+            instance = self.next_own_round * self.config.n + self.node_id
+            self.next_own_round += 1
+            if instance not in self.chosen and instance not in self.proposals:
+                self._coordinate_in(instance, NOOP)
+        self.set_timer("gap-fill", self.config.gapfill_period)
+
+    @msg_handler(Promise)
+    def on_promise(self, src: int, msg: Promise) -> None:
+        proposal = self.proposals.get(msg.instance)
+        if proposal is None or proposal["ballot"] != msg.ballot or proposal["phase"] != "prepare":
+            return
+        if src in proposal["promise_from"]:
+            return
+        proposal["promise_from"].append(src)
+        if msg.accepted_ballot > proposal["best_accepted_ballot"]:
+            proposal["best_accepted_ballot"] = msg.accepted_ballot
+            proposal["best_accepted_value"] = msg.accepted_value
+        if len(proposal["promise_from"]) >= self.config.majority:
+            value = proposal["best_accepted_value"]
+            if value is None:
+                value = proposal["value"]
+            proposal["proposing"] = value
+            proposal["phase"] = "accept"
+            proposal["accepted_from"] = []
+            for peer in self._replicas():
+                self.send(peer, Accept(instance=msg.instance, ballot=msg.ballot, value=value))
+
+    @msg_handler(AcceptedMsg)
+    def on_accepted(self, src: int, msg: AcceptedMsg) -> None:
+        proposal = self.proposals.get(msg.instance)
+        if proposal is None or proposal["ballot"] != msg.ballot or proposal["phase"] != "accept":
+            return
+        if src in proposal["accepted_from"]:
+            return
+        proposal["accepted_from"].append(src)
+        if len(proposal["accepted_from"]) >= self.config.majority:
+            self._value_chosen(msg.instance, proposal["proposing"])
+            for peer in self._replicas():
+                self.send(peer, Learn(instance=msg.instance, value=proposal["proposing"]))
+
+    @msg_handler(Nack)
+    def on_nack(self, src: int, msg: Nack) -> None:
+        proposal = self.proposals.get(msg.instance)
+        if proposal is None or proposal["ballot"] >= msg.promised:
+            return
+        # Defer to the jittered retry sweep instead of escalating
+        # immediately: eager re-preparation is what fuels the
+        # dueling-proposers livelock.
+        proposal["min_round"] = max(
+            proposal.get("min_round", 1), msg.promised // self.config.n + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Acceptor
+    # ------------------------------------------------------------------
+
+    @msg_handler(Prepare)
+    def on_prepare(self, src: int, msg: Prepare) -> None:
+        if msg.instance in self.chosen:
+            self.send(src, Learn(instance=msg.instance, value=self.chosen[msg.instance]))
+            return
+        if msg.ballot > self.promised.get(msg.instance, NO_BALLOT):
+            self.promised[msg.instance] = msg.ballot
+            accepted = self.accepted.get(msg.instance)
+            self.send(
+                src,
+                Promise(
+                    instance=msg.instance,
+                    ballot=msg.ballot,
+                    accepted_ballot=accepted[0] if accepted else NO_BALLOT,
+                    accepted_value=tuple(accepted[1]) if accepted else None,
+                ),
+            )
+        else:
+            self.send(src, Nack(instance=msg.instance, promised=self.promised[msg.instance]))
+
+    @msg_handler(Accept)
+    def on_accept(self, src: int, msg: Accept) -> None:
+        if msg.instance in self.chosen:
+            self.send(src, Learn(instance=msg.instance, value=self.chosen[msg.instance]))
+            return
+        if msg.ballot >= self.promised.get(msg.instance, NO_BALLOT):
+            self.promised[msg.instance] = msg.ballot
+            self.accepted[msg.instance] = [msg.ballot, list(msg.value)]
+            self.send(
+                src,
+                AcceptedMsg(instance=msg.instance, ballot=msg.ballot, value=msg.value),
+            )
+        else:
+            self.send(src, Nack(instance=msg.instance, promised=self.promised[msg.instance]))
+
+    # ------------------------------------------------------------------
+    # Learner
+    # ------------------------------------------------------------------
+
+    @msg_handler(Learn)
+    def on_learn(self, src: int, msg: Learn) -> None:
+        self._value_chosen(msg.instance, msg.value)
+
+    def _value_chosen(self, instance: int, value: Command) -> None:
+        value = tuple(value)
+        if instance not in self.chosen:
+            self.chosen[instance] = value
+            self.record("paxos.chosen", instance=instance)
+        proposal = self.proposals.pop(instance, None)
+        if proposal is not None and tuple(proposal["value"]) != value:
+            # Our command lost this instance to a recovered value:
+            # re-sequence it in a fresh self-owned slot.
+            self.propose(tuple(proposal["value"]))
+        if value in self.my_requests and value not in self.committed:
+            self.committed[value] = [self.my_requests[value], self.now()]
+        # Advance the executable prefix of the replicated log.
+        while self.exec_upto in self.chosen:
+            decided = tuple(self.chosen[self.exec_upto])
+            if decided != NOOP:
+                self.executed.append(decided)
+            self.exec_upto += 1
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def commit_latencies(self) -> List[float]:
+        """Latency of every committed command this node originated."""
+        return sorted(done - created for created, done in self.committed.values())
+
+
+class FixedLeaderPaxos(PaxosReplica):
+    """All commands route to one fixed leader (classic deployment)."""
+
+    def __init__(self, node_id: int, config: Optional[PaxosConfig] = None, leader: int = 0) -> None:
+        super().__init__(node_id, config)
+        self.leader = leader
+
+    def route_command(self, command: Command) -> None:
+        if self.node_id == self.leader:
+            self.propose(command)
+        else:
+            self.send(self.leader, ClientRequest(command=command))
+
+
+class MenciusPaxos(PaxosReplica):
+    """Every origin proposes its own commands (round-robin ownership)."""
+
+    def route_command(self, command: Command) -> None:
+        self.propose(command)
+
+
+class ExposedPaxos(PaxosReplica):
+    """The proposer is an exposed choice resolved by the runtime."""
+
+    def route_command(self, command: Command) -> None:
+        proposer = self.choose("proposer", self._replicas(), command=list(command))
+        if proposer == self.node_id:
+            self.propose(command)
+        else:
+            self.send(proposer, ClientRequest(command=command))
+
+
+def make_paxos_factory(variant: str, config: Optional[PaxosConfig] = None, leader: int = 0):
+    """Factory for one of the three proposer-routing variants."""
+    cfg = config if config is not None else PaxosConfig()
+    if variant == "fixed":
+        return lambda node_id: FixedLeaderPaxos(node_id, cfg, leader)
+    if variant == "mencius":
+        return lambda node_id: MenciusPaxos(node_id, cfg)
+    if variant == "choice":
+        return lambda node_id: ExposedPaxos(node_id, cfg)
+    raise ValueError(f"unknown variant {variant!r}; expected fixed/mencius/choice")
+
+
+__all__ = [
+    "PaxosReplica",
+    "FixedLeaderPaxos",
+    "MenciusPaxos",
+    "ExposedPaxos",
+    "make_paxos_factory",
+]

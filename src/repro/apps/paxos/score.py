@@ -1,0 +1,64 @@
+"""Model-based scoring for the exposed proposer choice.
+
+Predicted commit latency of routing a command through proposer ``p``::
+
+    rtt(origin, p)            # forward the command + learn the result
+  + majority_rtt(p)           # one accept round to a majority
+
+where ``majority_rtt(p)`` is the round-trip to the (majority-1)-th
+closest other replica — the accept round completes when that many
+acceptors besides ``p`` itself have replied.  The resolver picks the
+proposer minimizing this estimate using the runtime's network model,
+which is the paper's "let the runtime pick the best proposer for
+high-performance across a range of deployment settings".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...choice.choicepoint import ChoicePoint
+from ...choice.resolvers import GreedyResolver
+
+
+def predicted_commit_latency(
+    network_model,
+    origin: int,
+    proposer: int,
+    n: int,
+    processing_delay: float = 0.0,
+) -> float:
+    """Predicted end-to-end commit latency via ``proposer``.
+
+    ``processing_delay`` is the proposer's per-proposal CPU cost (in a
+    real deployment the runtime would estimate it from collected load
+    measurements; here it comes from the configured load model).
+    """
+    majority = n // 2 + 1
+    forward = 0.0 if proposer == origin else network_model.rtt(origin, proposer)
+    rtts = sorted(
+        network_model.rtt(proposer, peer) for peer in range(n) if peer != proposer
+    )
+    needed = majority - 1  # the proposer itself accepts locally
+    majority_rtt = rtts[needed - 1] if needed >= 1 and rtts else 0.0
+    return forward + processing_delay + majority_rtt
+
+
+def proposer_score(candidate: int, point: ChoicePoint, node: Optional[Any]) -> float:
+    """Negated predicted commit latency (higher is better)."""
+    runtime = getattr(node, "crystalball", None) if node is not None else None
+    if runtime is None:
+        return 0.0
+    config = node.service.config
+    return -predicted_commit_latency(
+        runtime.network_model, node.node_id, candidate, config.n,
+        processing_delay=config.processing_delay(candidate),
+    )
+
+
+def make_proposer_resolver() -> GreedyResolver:
+    """A greedy resolver minimizing predicted commit latency."""
+    return GreedyResolver(proposer_score)
+
+
+__all__ = ["predicted_commit_latency", "proposer_score", "make_proposer_resolver"]

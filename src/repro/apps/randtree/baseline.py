@@ -1,0 +1,345 @@
+"""Baseline RandTree: hard-coded policies buried in the handlers.
+
+This is a faithful Python port of the *style* of the publicly released
+Mace RandTree the paper starts from: "the logic for making the
+forwarding decision is fairly complex, and involves a few calls to a
+pseudo-random number generator" (Section 3.1).  One message handler
+serves the join request end to end; the forwarding strategy, the
+acceptance policy, duplicate suppression, the recovery preference order
+(grandparent, then siblings, then root), and the node's *own* network
+measurement machinery (ping/pong RTT probing feeding an EWMA map used
+to bias forwarding) are all entangled in nested conditionals with
+explicit PRNG calls.
+
+The choice-exposed rewrite in ``exposed.py`` implements the same
+protocol; E1 (the LoC/complexity experiment) compares the two files
+with ``repro.metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...statemachine import Service, msg_handler, timer_handler
+from .common import (
+    Heartbeat,
+    HeartbeatAck,
+    Join,
+    JoinReply,
+    Ping,
+    Pong,
+    RandTreeConfig,
+    STATE_FIELDS,
+)
+
+RTT_ALPHA = 0.3
+JOIN_CACHE_WINDOW = 0.25
+
+
+class BaselineRandTree(Service):
+    """Random overlay tree with hard-coded join/recovery policies."""
+
+    state_fields = STATE_FIELDS + (
+        "rtt_to", "recovery_attempts", "recent_joins",
+    )
+
+    def __init__(self, node_id: int, config: Optional[RandTreeConfig] = None) -> None:
+        super().__init__(node_id)
+        self.config = config if config is not None else RandTreeConfig()
+        self.joined = False
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.depth = 0
+        self.child_last_seen: Dict[int, float] = {}
+        self.hb_missed = 0
+        self.siblings: List[int] = []
+        self.grandparent: Optional[int] = None
+        # Hand-rolled network model: EWMA RTT per peer, fed by our own
+        # ping/pong probes (the duplication the paper argues against).
+        self.rtt_to: Dict[int, float] = {}
+        self.recovery_attempts = 0
+        self.recent_joins: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_init(self) -> None:
+        if self.node_id == self.config.root:
+            self.joined = True
+            self.depth = 1
+            self.parent = None
+        else:
+            self.joined = False
+            self.send(self.config.root, Join(joiner=self.node_id))
+            self.set_timer("join-retry", self.config.join_retry)
+        self.set_timer("sweep", self.config.sweep_period)
+        self.set_timer("ping", self.config.ping_period)
+
+    # ------------------------------------------------------------------
+    # The monolithic join handler (hard-coded policy)
+    # ------------------------------------------------------------------
+
+    @msg_handler(Join)
+    def handle_join(self, src: int, msg: Join) -> None:
+        joiner = msg.joiner
+        rng = self.rng("join")
+        now = self.now()
+        if joiner == self.node_id:
+            # Our own join request travelled back to us; if we are still
+            # unjoined and not the root, retry through the root, with a
+            # random backoff spin to avoid ping-ponging.
+            if not self.joined and self.node_id != self.config.root:
+                if rng.random() < 0.5:
+                    self.send(self.config.root, Join(joiner=self.node_id))
+            return
+        # Suppress duplicate join requests seen within the cache window
+        # (re-forwarding them amplifies join storms).
+        last = self.recent_joins.get(joiner)
+        if last is not None and now - last < JOIN_CACHE_WINDOW and joiner not in self.children:
+            return
+        self.recent_joins[joiner] = now
+        if not self.joined:
+            # Not part of the tree ourselves: we cannot adopt.  The root
+            # is always joined, so bounce the request back to the root
+            # unless we *are* the (misconfigured) root.
+            if self.node_id != self.config.root:
+                self.send(self.config.root, Join(joiner=joiner))
+            return
+        if joiner in self.children:
+            # Duplicate join (our earlier reply was probably lost):
+            # refresh the adoption instead of creating a second edge.
+            self.child_last_seen[joiner] = now
+            self._send_reply(joiner)
+            return
+        if joiner == self.parent:
+            # Our own parent is rejoining below us: adopting it would
+            # create a cycle.  Push the request up toward the root
+            # instead, or to the root directly if we lost the parent.
+            if self.parent is not None and self.hb_missed <= self.config.parent_miss_limit:
+                self.send(self.config.root, Join(joiner=joiner))
+            return
+        if len(self.children) < self.config.max_children:
+            # Capacity available.  The released RandTree flips a biased
+            # coin between keeping the joiner and pushing it down, to
+            # randomize tree shape while the tree is young.
+            if not self.children:
+                self._adopt(joiner)
+            elif rng.random() < 0.85:
+                self._adopt(joiner)
+            else:
+                victim_index = rng.randrange(len(self.children))
+                forward_to = self.children[victim_index]
+                if forward_to == joiner:
+                    self._adopt(joiner)
+                else:
+                    self.send(forward_to, Join(joiner=joiner))
+            return
+        # Full: forward to a random child, preferring one that is not
+        # the message sender and not the joiner (both would bounce the
+        # request straight back).
+        candidates = [c for c in self.children if c != src and c != joiner]
+        if not candidates:
+            candidates = [c for c in self.children if c != joiner]
+        if not candidates:
+            # Every child is the joiner (single-child degenerate case):
+            # refresh the adoption.
+            self.child_last_seen[joiner] = now
+            self._send_reply(joiner)
+            return
+        target = candidates[rng.randrange(len(candidates))]
+        self.send(target, Join(joiner=joiner))
+
+    def _adopt(self, joiner: int) -> None:
+        self.children.append(joiner)
+        self.child_last_seen[joiner] = self.now()
+        self._send_reply(joiner)
+        self._push_family_updates()
+
+    def _send_reply(self, joiner: int) -> None:
+        self.send(
+            joiner,
+            JoinReply(
+                accepted=True,
+                depth=self.depth + 1,
+                siblings=[c for c in self.children if c != joiner],
+                grandparent=self.parent,
+            ),
+        )
+
+    def _push_family_updates(self) -> None:
+        # Children learn their sibling set through the next ack; nothing
+        # to do eagerly, but keep the hook explicit for symmetry with
+        # the released implementation.
+        return None
+
+    # ------------------------------------------------------------------
+    # Join replies
+    # ------------------------------------------------------------------
+
+    @msg_handler(JoinReply)
+    def handle_join_reply(self, src: int, msg: JoinReply) -> None:
+        if not msg.accepted:
+            if not self.joined:
+                self.send(self.config.root, Join(joiner=self.node_id))
+            return
+        if self.joined:
+            if src != self.parent:
+                # A stale acceptance from an older join attempt; our
+                # current parent wins, so ignore it.
+                return
+            self.depth = msg.depth
+            self.siblings = list(msg.siblings)
+            self.grandparent = msg.grandparent
+            return
+        self.joined = True
+        self.parent = src
+        self.depth = msg.depth
+        self.siblings = list(msg.siblings)
+        self.grandparent = msg.grandparent
+        self.hb_missed = 0
+        self.recovery_attempts = 0
+        self.cancel_timer("join-retry")
+        self.set_timer("heartbeat", self.config.hb_period)
+
+    # ------------------------------------------------------------------
+    # Liveness maintenance (heartbeats, sweeps, retries)
+    # ------------------------------------------------------------------
+
+    @msg_handler(Heartbeat)
+    def handle_heartbeat(self, src: int, msg: Heartbeat) -> None:
+        if not self.joined:
+            return
+        if src in self.children:
+            self.child_last_seen[src] = self.now()
+            self._send_ack(src)
+        else:
+            # A node that still believes we are its parent (we swept it,
+            # or we restarted).  Re-adopt if there is room; otherwise
+            # stay silent and let its miss counter trigger a rejoin.
+            if len(self.children) < self.config.max_children and src != self.parent:
+                self.children.append(src)
+                self.child_last_seen[src] = self.now()
+                self._send_ack(src)
+
+    def _send_ack(self, child: int) -> None:
+        self.send(
+            child,
+            HeartbeatAck(
+                depth=self.depth,
+                siblings=[c for c in self.children if c != child],
+                grandparent=self.parent,
+            ),
+        )
+
+    @msg_handler(HeartbeatAck)
+    def handle_heartbeat_ack(self, src: int, msg: HeartbeatAck) -> None:
+        if src != self.parent:
+            return
+        self.hb_missed = 0
+        if msg.depth + 1 != self.depth:
+            self.depth = msg.depth + 1
+        self.siblings = list(msg.siblings)
+        self.grandparent = msg.grandparent
+
+    @timer_handler("heartbeat")
+    def on_heartbeat_timer(self, payload) -> None:
+        if not self.joined or self.parent is None:
+            return
+        if self.hb_missed >= self.config.parent_miss_limit:
+            self._parent_lost()
+            return
+        self.hb_missed += 1
+        self.send(self.parent, Heartbeat())
+        self.set_timer("heartbeat", self.config.hb_period)
+
+    def _parent_lost(self) -> None:
+        # Hard-coded recovery preference order: grandparent first, then
+        # the nearest-by-RTT sibling (random among unmeasured), falling
+        # back to the root after too many failed attempts.
+        self.joined = False
+        self.parent = None
+        self.hb_missed = 0
+        self.recovery_attempts += 1
+        rng = self.rng("recovery")
+        if self.recovery_attempts > self.config.recovery_root_fallback:
+            target = self.config.root
+        elif self.grandparent is not None and self.grandparent != self.node_id:
+            target = self.grandparent
+        else:
+            candidates = [s for s in self.siblings if s != self.node_id]
+            if candidates:
+                measured = [s for s in candidates if s in self.rtt_to]
+                if measured:
+                    target = measured[0]
+                    for sibling in measured[1:]:
+                        if self.rtt_to[sibling] < self.rtt_to[target]:
+                            target = sibling
+                else:
+                    target = candidates[rng.randrange(len(candidates))]
+            else:
+                target = self.config.root
+        self.send(target, Join(joiner=self.node_id))
+        self.set_timer("join-retry", self.config.join_retry)
+
+    @timer_handler("sweep")
+    def on_sweep_timer(self, payload) -> None:
+        if self.joined and self.children:
+            now = self.now()
+            dead = [
+                c for c in self.children
+                if now - self.child_last_seen.get(c, 0.0) > self.config.child_timeout
+            ]
+            for child in dead:
+                self.children.remove(child)
+                self.child_last_seen.pop(child, None)
+        self.set_timer("sweep", self.config.sweep_period)
+
+    @timer_handler("join-retry")
+    def on_join_retry(self, payload) -> None:
+        if self.joined:
+            return
+        self.recovery_attempts += 1
+        self.send(self.config.root, Join(joiner=self.node_id))
+        self.set_timer("join-retry", self.config.join_retry)
+
+    # ------------------------------------------------------------------
+    # Hand-rolled network measurement (ping/pong RTT probing)
+    # ------------------------------------------------------------------
+
+    @timer_handler("ping")
+    def on_ping_timer(self, payload) -> None:
+        if self.joined:
+            for peer in self.children:
+                self.send(peer, Ping(sent_at=self.now()))
+            if self.parent is not None:
+                self.send(self.parent, Ping(sent_at=self.now()))
+        self.set_timer("ping", self.config.ping_period)
+
+    @msg_handler(Ping)
+    def handle_ping(self, src: int, msg: Ping) -> None:
+        self.send(src, Pong(sent_at=msg.sent_at))
+
+    @msg_handler(Pong)
+    def handle_pong(self, src: int, msg: Pong) -> None:
+        sample = self.now() - msg.sent_at
+        if sample < 0:
+            return
+        previous = self.rtt_to.get(src)
+        if previous is None:
+            self.rtt_to[src] = sample
+        else:
+            self.rtt_to[src] = previous + RTT_ALPHA * (sample - previous)
+
+
+def make_baseline_factory(config: Optional[RandTreeConfig] = None):
+    """Factory of baseline services sharing one configuration."""
+    cfg = config if config is not None else RandTreeConfig()
+
+    def factory(node_id: int) -> BaselineRandTree:
+        return BaselineRandTree(node_id, cfg)
+
+    return factory
+
+
+__all__ = ["BaselineRandTree", "make_baseline_factory"]

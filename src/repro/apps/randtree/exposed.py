@@ -1,0 +1,251 @@
+"""Choice-exposed RandTree: the paper's new programming model.
+
+Same protocol as ``baseline.py``, rewritten the way Section 3.1
+prescribes: instead of one monolithic join handler with buried policy,
+there are several small handlers for the same message type (an NFA over
+guards), and the actual decisions — which child receives a forwarded
+join, which relative to rejoin through after a failure — are *exposed*
+to the runtime via ``choose``.  The baseline's private ping/pong RTT
+machinery disappears entirely: the runtime's shared network model
+already knows link performance.  Resolution policy is whatever resolver
+the node carries: random (Choice-Random) or the CrystalBall predictive
+resolver (Choice-CrystalBall).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...statemachine import Service, msg_handler, timer_handler
+from .common import (
+    Heartbeat,
+    HeartbeatAck,
+    Join,
+    JoinReply,
+    RandTreeConfig,
+    STATE_FIELDS,
+)
+
+
+def _bounce(svc: "ExposedRandTree", src: int, msg: Join) -> bool:
+    return not svc.joined and msg.joiner != svc.node_id
+
+
+def _refresh(svc: "ExposedRandTree", src: int, msg: Join) -> bool:
+    return svc.joined and msg.joiner in svc.children
+
+
+def _accept(svc: "ExposedRandTree", src: int, msg: Join) -> bool:
+    return (
+        svc.joined
+        and msg.joiner not in svc.children
+        and msg.joiner not in (svc.node_id, svc.parent)
+        and len(svc.children) < svc.config.max_children
+    )
+
+
+def _forward(svc: "ExposedRandTree", src: int, msg: Join) -> bool:
+    return (
+        svc.joined
+        and msg.joiner not in svc.children
+        and msg.joiner not in (svc.node_id, svc.parent)
+        and len(svc.children) >= svc.config.max_children
+    )
+
+
+class ExposedRandTree(Service):
+    """Random overlay tree with exposed choices.
+
+    ``recent_forwards`` is the service's contribution to the predictive
+    model (Section 3.3.2: the service "can contribute to efficiently
+    maintaining the model by exporting state whose goal is to keep
+    track of information in other nodes"): it counts joins recently
+    forwarded toward each child — in-flight work the checkpoints of
+    other nodes cannot show yet — so concurrent join bursts do not all
+    herd into the same subtree.
+    """
+
+    state_fields = STATE_FIELDS + ("recent_forwards",)
+
+    def __init__(self, node_id: int, config: Optional[RandTreeConfig] = None) -> None:
+        super().__init__(node_id)
+        self.config = config if config is not None else RandTreeConfig()
+        self.joined = False
+        self.parent: Optional[int] = None
+        self.children: List[int] = []
+        self.depth = 0
+        self.child_last_seen: Dict[int, float] = {}
+        self.hb_missed = 0
+        self.siblings: List[int] = []
+        self.grandparent: Optional[int] = None
+        self.recent_forwards: Dict[int, int] = {}
+
+    def on_init(self) -> None:
+        if self.node_id == self.config.root:
+            self.joined = True
+            self.depth = 1
+        else:
+            self.send(self.config.root, Join(joiner=self.node_id))
+            self.set_timer("join-retry", self.config.join_retry)
+        self.set_timer("sweep", self.config.sweep_period)
+
+    # ------------------------------------------------------------------
+    # Join handling: one small handler per situation (NFA style)
+    # ------------------------------------------------------------------
+
+    @msg_handler(Join, guard=_bounce)
+    def bounce_join(self, src: int, msg: Join) -> None:
+        self.send(self.config.root, Join(joiner=msg.joiner))
+
+    @msg_handler(Join, guard=_refresh)
+    def refresh_join(self, src: int, msg: Join) -> None:
+        self.child_last_seen[msg.joiner] = self.now()
+        self._send_reply(msg.joiner)
+
+    @msg_handler(Join, guard=_accept)
+    def accept_join(self, src: int, msg: Join) -> None:
+        self.children.append(msg.joiner)
+        self.child_last_seen[msg.joiner] = self.now()
+        self._send_reply(msg.joiner)
+
+    @msg_handler(Join, guard=_forward)
+    def forward_join(self, src: int, msg: Join) -> None:
+        target = self.choose(
+            "join-forward",
+            [c for c in self.children if c != msg.joiner],
+            joiner=msg.joiner,
+        )
+        self.recent_forwards[target] = self.recent_forwards.get(target, 0) + 1
+        self.send(target, Join(joiner=msg.joiner))
+
+    def _send_reply(self, joiner: int) -> None:
+        self.send(
+            joiner,
+            JoinReply(
+                accepted=True,
+                depth=self.depth + 1,
+                siblings=[c for c in self.children if c != joiner],
+                grandparent=self.parent,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Join replies
+    # ------------------------------------------------------------------
+
+    @msg_handler(JoinReply)
+    def handle_join_reply(self, src: int, msg: JoinReply) -> None:
+        if self.joined:
+            if src == self.parent:
+                self._absorb_family(msg.depth, msg.siblings, msg.grandparent)
+            return
+        self.joined = True
+        self.parent = src
+        self.hb_missed = 0
+        self._absorb_family(msg.depth, msg.siblings, msg.grandparent)
+        self.cancel_timer("join-retry")
+        self.set_timer("heartbeat", self.config.hb_period)
+
+    def _absorb_family(self, depth: int, siblings: List[int], grandparent: Optional[int]) -> None:
+        self.depth = depth
+        self.siblings = list(siblings)
+        self.grandparent = grandparent
+
+    # ------------------------------------------------------------------
+    # Liveness maintenance
+    # ------------------------------------------------------------------
+
+    @msg_handler(Heartbeat, guard=lambda svc, src, msg: svc.joined and src in svc.children)
+    def ack_heartbeat(self, src: int, msg: Heartbeat) -> None:
+        self.child_last_seen[src] = self.now()
+        self._send_ack(src)
+
+    @msg_handler(
+        Heartbeat,
+        guard=lambda svc, src, msg: (
+            svc.joined and src not in svc.children and src != svc.parent
+            and len(svc.children) < svc.config.max_children
+        ),
+    )
+    def readopt_on_heartbeat(self, src: int, msg: Heartbeat) -> None:
+        self.children.append(src)
+        self.child_last_seen[src] = self.now()
+        self._send_ack(src)
+
+    def _send_ack(self, child: int) -> None:
+        self.send(
+            child,
+            HeartbeatAck(
+                depth=self.depth,
+                siblings=[c for c in self.children if c != child],
+                grandparent=self.parent,
+            ),
+        )
+
+    @msg_handler(HeartbeatAck)
+    def handle_heartbeat_ack(self, src: int, msg: HeartbeatAck) -> None:
+        if src != self.parent:
+            return
+        self.hb_missed = 0
+        self._absorb_family(msg.depth + 1, msg.siblings, msg.grandparent)
+
+    @timer_handler("heartbeat")
+    def on_heartbeat_timer(self, payload) -> None:
+        if not self.joined or self.parent is None:
+            return
+        if self.hb_missed >= self.config.parent_miss_limit:
+            self.rejoin()
+            return
+        self.hb_missed += 1
+        self.send(self.parent, Heartbeat())
+        self.set_timer("heartbeat", self.config.hb_period)
+
+    def rejoin(self) -> None:
+        """Parent lost: rejoin through a chosen relative.
+
+        The recovery policy is a single exposed choice over every
+        plausible attachment point; the baseline's hand-coded
+        grandparent/sibling/root preference ladder is gone.
+        """
+        self.joined = False
+        self.parent = None
+        self.hb_missed = 0
+        candidates = [self.grandparent] + self.siblings + [self.config.root]
+        candidates = sorted({c for c in candidates if c is not None and c != self.node_id})
+        target = self.choose("rejoin-target", candidates)
+        self.send(target, Join(joiner=self.node_id))
+        self.set_timer("join-retry", self.config.join_retry)
+
+    @timer_handler("sweep")
+    def on_sweep_timer(self, payload) -> None:
+        now = self.now()
+        dead = [
+            c for c in self.children
+            if now - self.child_last_seen.get(c, 0.0) > self.config.child_timeout
+        ]
+        for child in dead:
+            self.children.remove(child)
+            self.child_last_seen.pop(child, None)
+        # Forwarded joins have long landed by the next sweep.
+        self.recent_forwards = {}
+        self.set_timer("sweep", self.config.sweep_period)
+
+    @timer_handler("join-retry")
+    def on_join_retry(self, payload) -> None:
+        if self.joined:
+            return
+        self.send(self.config.root, Join(joiner=self.node_id))
+        self.set_timer("join-retry", self.config.join_retry)
+
+
+def make_exposed_factory(config: Optional[RandTreeConfig] = None):
+    """Factory of exposed services sharing one configuration."""
+    cfg = config if config is not None else RandTreeConfig()
+
+    def factory(node_id: int) -> ExposedRandTree:
+        return ExposedRandTree(node_id, cfg)
+
+    return factory
+
+
+__all__ = ["ExposedRandTree", "make_exposed_factory"]

@@ -1,0 +1,128 @@
+"""Objective specification language (Section 3.2).
+
+The developer "may specify the objectives that the runtime needs to
+maximize".  An :class:`Objective` scores a *world view* — any object the
+evaluator supplies (a model-checker :class:`~repro.mc.world.WorldState`,
+or a predicted-future summary).  Higher is better.
+
+Three primitive families and combinators:
+
+* :class:`SafetyObjective` — a predicate that must hold; violation
+  contributes a large negative penalty (the "number of safety and
+  liveness properties expected to hold" objective from the paper).
+* :class:`LivenessObjective` — a progress predicate rewarded when true
+  (a practical proxy for liveness over finite horizons).
+* :class:`PerformanceObjective` — an arbitrary scalar metric, with a
+  ``minimize`` flag for costs such as tree depth or latency; per the
+  paper, "an expressive performance specification language can, in
+  fact, subsume safety and liveness specification languages".
+* :class:`WeightedObjective` — weighted sum of sub-objectives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+Predicate = Callable[[Any], bool]
+Metric = Callable[[Any], float]
+
+SAFETY_PENALTY = 1_000_000.0
+LIVENESS_REWARD = 1_000.0
+
+
+class Objective:
+    """Scores a world view; higher is better."""
+
+    name = "objective"
+
+    def score(self, world: Any) -> float:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SafetyObjective(Objective):
+    """A property that must always hold.
+
+    Scores ``0`` when the predicate holds and ``-penalty`` when it is
+    violated, so any violating future loses against any non-violating
+    one regardless of performance terms.
+    """
+
+    def __init__(self, name: str, predicate: Predicate, penalty: float = SAFETY_PENALTY) -> None:
+        self.name = name
+        self.predicate = predicate
+        self.penalty = penalty
+
+    def score(self, world: Any) -> float:
+        return 0.0 if self.predicate(world) else -self.penalty
+
+    def holds(self, world: Any) -> bool:
+        """Whether the safety predicate holds in ``world``."""
+        return bool(self.predicate(world))
+
+
+class LivenessObjective(Objective):
+    """A progress condition rewarded when reached within the horizon."""
+
+    def __init__(self, name: str, predicate: Predicate, reward: float = LIVENESS_REWARD) -> None:
+        self.name = name
+        self.predicate = predicate
+        self.reward = reward
+
+    def score(self, world: Any) -> float:
+        return self.reward if self.predicate(world) else 0.0
+
+
+class PerformanceObjective(Objective):
+    """A scalar metric over a world view.
+
+    With ``minimize=True`` the metric is negated, so "minimize maximum
+    tree depth" is ``PerformanceObjective("depth", depth_fn, minimize=True)``.
+    ``weight`` scales the contribution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        metric: Metric,
+        minimize: bool = False,
+        weight: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.metric = metric
+        self.minimize = minimize
+        self.weight = weight
+
+    def score(self, world: Any) -> float:
+        value = float(self.metric(world))
+        return -self.weight * value if self.minimize else self.weight * value
+
+
+class WeightedObjective(Objective):
+    """Weighted sum of sub-objectives."""
+
+    def __init__(self, parts: Sequence[Tuple[float, Objective]], name: str = "weighted") -> None:
+        self.name = name
+        self.parts: List[Tuple[float, Objective]] = list(parts)
+
+    def score(self, world: Any) -> float:
+        return sum(weight * objective.score(world) for weight, objective in self.parts)
+
+
+def combine(*objectives: Objective, name: str = "combined") -> Objective:
+    """Equal-weight combination of several objectives."""
+    return WeightedObjective([(1.0, obj) for obj in objectives], name=name)
+
+
+__all__ = [
+    "Objective",
+    "SafetyObjective",
+    "LivenessObjective",
+    "PerformanceObjective",
+    "WeightedObjective",
+    "combine",
+    "SAFETY_PENALTY",
+    "LIVENESS_REWARD",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli e1
+    python -m repro.cli e2 --variant choice-crystalball --seed 2
+    python -m repro.cli e3 --seeds 1 2 3
+    python -m repro.cli e4 --variant choice-model
+    python -m repro.cli e5 --setting abundant --variant baseline-rarest
+    python -m repro.cli e6 --variant mencius
+
+Each experiment id matches DESIGN.md's index and the corresponding
+``benchmarks/bench_e*.py``; the CLI is the quick interactive way to
+poke at one configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "e1": "development-effort metrics (LoC, if-else per handler)",
+    "e2": "RandTree join-phase depth (31 nodes)",
+    "e3": "RandTree subtree failure + rejoin depth",
+    "e4": "gossip peer choice on heterogeneous links",
+    "e5": "content-distribution next-block strategy crossover",
+    "e6": "Paxos proposer choice over a loaded WAN",
+    "e7": "consequence-prediction depth/cost sweep",
+}
+
+
+def _cmd_list(_args) -> int:
+    for exp_id, description in EXPERIMENTS.items():
+        print(f"{exp_id}  {description}")
+    return 0
+
+
+def _cmd_e1(_args) -> int:
+    from .metrics import compare_randtree
+
+    print(compare_randtree().format_table())
+    return 0
+
+
+def _cmd_tree(args, phase: str) -> int:
+    from .eval import VARIANTS, run_tree_experiment
+
+    variants = [args.variant] if args.variant else list(VARIANTS)
+    for variant in variants:
+        depths = []
+        for seed in args.seeds:
+            result = run_tree_experiment(variant, seed=seed)
+            depths.append(
+                result.depth_after_join if phase == "join" else result.depth_after_rejoin
+            )
+        print(f"{variant:>20}: depth after {phase} = "
+              f"{statistics.mean(depths):.2f}  per-seed {depths}")
+    return 0
+
+
+def _cmd_e4(args) -> int:
+    from .eval import GOSSIP_VARIANTS, run_gossip_experiment
+
+    variants = [args.variant] if args.variant else list(GOSSIP_VARIANTS)
+    for variant in variants:
+        for seed in args.seeds:
+            print(run_gossip_experiment(variant, seed=seed).summary())
+    return 0
+
+
+def _cmd_e5(args) -> int:
+    from .eval import SWARM_VARIANTS, run_swarm_experiment
+
+    variants = [args.variant] if args.variant else list(SWARM_VARIANTS)
+    for variant in variants:
+        for seed in args.seeds:
+            print(run_swarm_experiment(variant, setting=args.setting, seed=seed).summary())
+    return 0
+
+
+def _cmd_e6(args) -> int:
+    from .eval import PAXOS_VARIANTS, run_paxos_experiment
+
+    variants = [args.variant] if args.variant else list(PAXOS_VARIANTS)
+    for variant in variants:
+        for seed in args.seeds:
+            print(run_paxos_experiment(variant, seed=seed).summary())
+    return 0
+
+
+def _cmd_e7(args) -> int:
+    import time
+
+    from .apps.randtree import RandTreeConfig, make_exposed_factory, randtree_properties
+    from .choice.resolvers import RandomResolver
+    from .mc import ConsequencePredictor, Explorer, world_from_services
+    from .statemachine import Cluster
+
+    config = RandTreeConfig()
+    factory = make_exposed_factory(config)
+    cluster = Cluster(31, factory, seed=args.seeds[0],
+                      resolver_factory=lambda nid: RandomResolver(args.seeds[0]))
+    cluster.start_all()
+    cluster.run(until=20.0)
+    world = world_from_services(cluster.services, cluster.nodes, time=cluster.sim.now)
+    explorer = Explorer(factory, properties=randtree_properties(config))
+    for depth in range(1, args.max_depth + 1):
+        predictor = ConsequencePredictor(explorer, chain_depth=depth, budget=50_000)
+        start = time.perf_counter()
+        report = predictor.predict(world)
+        elapsed = time.perf_counter() - start
+        print(f"chain depth {depth}: {report.total_states:5d} states  {elapsed:.3f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run experiments from 'Simplifying Distributed System Development'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("e1", help=EXPERIMENTS["e1"])
+
+    def add_common(p, variants_help="restrict to one variant"):
+        p.add_argument("--variant", default=None, help=variants_help)
+        p.add_argument("--seeds", type=int, nargs="+", default=[1],
+                       help="seeds to run (default: 1)")
+
+    for exp_id in ("e2", "e3"):
+        p = sub.add_parser(exp_id, help=EXPERIMENTS[exp_id])
+        add_common(p)
+    p = sub.add_parser("e4", help=EXPERIMENTS["e4"])
+    add_common(p)
+    p = sub.add_parser("e5", help=EXPERIMENTS["e5"])
+    add_common(p)
+    p.add_argument("--setting", choices=("scarce", "abundant"), default="scarce")
+    p = sub.add_parser("e6", help=EXPERIMENTS["e6"])
+    add_common(p)
+    p = sub.add_parser("e7", help=EXPERIMENTS["e7"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--max-depth", type=int, default=6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "e1": _cmd_e1,
+        "e2": lambda a: _cmd_tree(a, "join"),
+        "e3": lambda a: _cmd_tree(a, "rejoin"),
+        "e4": _cmd_e4,
+        "e5": _cmd_e5,
+        "e6": _cmd_e6,
+        "e7": _cmd_e7,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Experiment harness: one runner per experiment in DESIGN.md's index."""
+
+from .churn_experiment import ChurnResult, run_churn_experiment
+
+from .dissemination_experiment import (
+    SETTINGS,
+    SWARM_VARIANTS,
+    SwarmResult,
+    run_swarm_experiment,
+    setting_config,
+    swarm_topology,
+)
+from .gossip_experiment import (
+    GOSSIP_VARIANTS,
+    GossipResult,
+    heterogeneous_topology,
+    run_gossip_experiment,
+)
+from .paxos_experiment import (
+    DEFAULT_LOADS,
+    PAXOS_VARIANTS,
+    PaxosResult,
+    agreement_holds,
+    run_paxos_experiment,
+    wan_topology,
+)
+from .tree_experiment import (
+    TreeExperimentResult,
+    VARIANTS,
+    failed_subtree,
+    optimal_depth,
+    run_tree_experiment,
+)
+
+__all__ = [
+    "ChurnResult",
+    "run_churn_experiment",
+    "SETTINGS",
+    "SWARM_VARIANTS",
+    "SwarmResult",
+    "run_swarm_experiment",
+    "setting_config",
+    "swarm_topology",
+    "GOSSIP_VARIANTS",
+    "GossipResult",
+    "heterogeneous_topology",
+    "run_gossip_experiment",
+    "DEFAULT_LOADS",
+    "PAXOS_VARIANTS",
+    "PaxosResult",
+    "agreement_holds",
+    "run_paxos_experiment",
+    "wan_topology",
+    "TreeExperimentResult",
+    "VARIANTS",
+    "failed_subtree",
+    "optimal_depth",
+    "run_tree_experiment",
+]

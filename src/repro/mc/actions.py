@@ -1,0 +1,95 @@
+"""Actions the explorer can take from a world state.
+
+Enabled actions mirror what can happen next in the real deployment:
+delivering an in-flight message to one of its applicable handlers,
+firing a pending timer, dropping a message (universally possible under
+the fault model, and exactly what execution steering exploits), or a
+generic-node injection (Section 3.3.2's under-specified environment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..statemachine.serialization import freeze
+
+
+@dataclass(frozen=True)
+class DeliverAction:
+    """Deliver an in-flight message to a specific handler of ``dst``."""
+
+    src: int
+    dst: int
+    msg: Any
+    handler: str
+
+    def key(self) -> Tuple:
+        """Stable identity (used by steering filters and dedup)."""
+        return ("deliver", self.src, self.dst, freeze(self.msg), self.handler)
+
+    def describe(self) -> str:
+        return f"deliver {type(self.msg).__name__} {self.src}->{self.dst} via {self.handler}"
+
+
+@dataclass(frozen=True)
+class TimerAction:
+    """Fire a pending timer at ``node``."""
+
+    node: int
+    name: str
+    payload: Any = None
+
+    def key(self) -> Tuple:
+        return ("timer", self.node, self.name, freeze(self.payload))
+
+    def describe(self) -> str:
+        return f"timer {self.name} at {self.node}"
+
+
+@dataclass(frozen=True)
+class DropAction:
+    """Lose an in-flight message (fault-model action)."""
+
+    src: int
+    dst: int
+    msg: Any
+
+    def key(self) -> Tuple:
+        return ("drop", self.src, self.dst, freeze(self.msg))
+
+    def describe(self) -> str:
+        return f"drop {type(self.msg).__name__} {self.src}->{self.dst}"
+
+
+@dataclass(frozen=True)
+class InjectAction:
+    """A generic (dummy) node sends a havoc message to ``dst``."""
+
+    src: int
+    dst: int
+    msg: Any
+
+    def key(self) -> Tuple:
+        return ("inject", self.src, self.dst, freeze(self.msg))
+
+    def describe(self) -> str:
+        return f"inject {type(self.msg).__name__} {self.src}->{self.dst}"
+
+
+Action = Any  # union of the dataclasses above
+
+
+def action_key(action: Action) -> Tuple:
+    """Canonical identity of any action."""
+    return action.key()
+
+
+__all__ = [
+    "DeliverAction",
+    "TimerAction",
+    "DropAction",
+    "InjectAction",
+    "Action",
+    "action_key",
+]

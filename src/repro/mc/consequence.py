@@ -1,0 +1,165 @@
+"""Consequence prediction (the CrystalBall exploration strategy).
+
+"Consequence prediction focuses on exploring causally related chains of
+events, and is fast enough to look several levels of state space into
+the future fairly quickly" (Section 2).  For each action enabled in the
+current world, the predictor executes it and then follows only the
+events *caused* by the chain so far (messages the handlers sent, timers
+they set), rather than interleaving unrelated traffic.  The output maps
+each initial action to the violations found downstream of it and the
+leaf worlds of its chains — exactly what execution steering and
+predictive choice resolution consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..choice.objectives import Objective, SAFETY_PENALTY
+from .actions import Action
+from .explorer import (
+    Explorer,
+    Violation,
+    consumed_event_key,
+    created_event_keys,
+)
+from .world import WorldState
+
+
+@dataclass
+class ActionOutcome:
+    """What consequence prediction learned about one initial action."""
+
+    action: Action
+    violations: List[Violation] = field(default_factory=list)
+    leaf_worlds: List[WorldState] = field(default_factory=list)
+    states: int = 0
+
+    @property
+    def is_safe(self) -> bool:
+        """No property violation found downstream of this action."""
+        return not self.violations
+
+
+@dataclass
+class PredictionReport:
+    """Outcomes for every enabled action from a world."""
+
+    outcomes: List[ActionOutcome] = field(default_factory=list)
+    total_states: int = 0
+    budget_exhausted: bool = False
+
+    def unsafe_actions(self) -> List[Action]:
+        """Initial actions predicted to lead to a violation."""
+        return [o.action for o in self.outcomes if not o.is_safe]
+
+    def outcome_for(self, action_key: Tuple) -> Optional[ActionOutcome]:
+        """The outcome whose initial action has the given key."""
+        for outcome in self.outcomes:
+            if outcome.action.key() == action_key:
+                return outcome
+        return None
+
+
+class ConsequencePredictor:
+    """Bounded causal-chain exploration from a snapshot world."""
+
+    def __init__(
+        self,
+        explorer: Explorer,
+        chain_depth: int = 4,
+        budget: int = 2_000,
+    ) -> None:
+        if chain_depth < 1:
+            raise ValueError(f"chain_depth must be >= 1, got {chain_depth}")
+        self.explorer = explorer
+        self.chain_depth = chain_depth
+        self.budget = budget
+
+    def predict(self, world: WorldState) -> PredictionReport:
+        """Explore the causal chains of every enabled action."""
+        report = PredictionReport()
+        for action in self.explorer.enabled_actions(world):
+            remaining = self.budget - report.total_states
+            if remaining <= 0:
+                report.budget_exhausted = True
+                break
+            outcome = self._explore_chain(world, action, remaining)
+            report.outcomes.append(outcome)
+            report.total_states += outcome.states
+        return report
+
+    def _explore_chain(self, root: WorldState, action: Action, budget: int) -> ActionOutcome:
+        outcome = ActionOutcome(action=action)
+        # Stack entries: (world, causal frontier of event keys, path, depth).
+        stack: List[Tuple[WorldState, Set[Tuple], Tuple[Action, ...], int]] = []
+        for successor in self.explorer.successors(root, action):
+            outcome.states += 1
+            path = (action,)
+            for name in self.explorer.check(successor):
+                outcome.violations.append(
+                    Violation(property_name=name, path=path, world=successor)
+                )
+            frontier = created_event_keys(root, successor)
+            stack.append((successor, frontier, path, 1))
+        while stack:
+            if outcome.states >= budget:
+                break
+            world, frontier, path, depth = stack.pop()
+            if depth >= self.chain_depth or not frontier:
+                outcome.leaf_worlds.append(world)
+                continue
+            causal_actions = [
+                a for a in self.explorer.enabled_actions(world)
+                if consumed_event_key(a) in frontier
+            ]
+            if not causal_actions:
+                outcome.leaf_worlds.append(world)
+                continue
+            for causal in causal_actions:
+                consumed = consumed_event_key(causal)
+                for successor in self.explorer.successors(world, causal):
+                    outcome.states += 1
+                    new_path = path + (causal,)
+                    for name in self.explorer.check(successor):
+                        outcome.violations.append(
+                            Violation(property_name=name, path=new_path, world=successor)
+                        )
+                    new_frontier = (frontier - {consumed}) | created_event_keys(world, successor)
+                    stack.append((successor, new_frontier, new_path, depth + 1))
+        return outcome
+
+
+def score_outcome(
+    outcome: ActionOutcome,
+    objective: Objective,
+    aggregate: str = "mean",
+) -> float:
+    """Score an action outcome against an objective.
+
+    Violations dominate everything (each costs :data:`SAFETY_PENALTY`);
+    otherwise the objective is evaluated over the chain's leaf worlds
+    and aggregated by ``mean``, ``min`` (pessimistic) or ``max``
+    (optimistic).
+    """
+    if outcome.violations:
+        return -SAFETY_PENALTY * len(outcome.violations)
+    if not outcome.leaf_worlds:
+        return 0.0
+    scores = [objective.score(world) for world in outcome.leaf_worlds]
+    if aggregate == "mean":
+        return sum(scores) / len(scores)
+    if aggregate == "min":
+        return min(scores)
+    if aggregate == "max":
+        return max(scores)
+    raise ValueError(f"unknown aggregate {aggregate!r}")
+
+
+__all__ = [
+    "ConsequencePredictor",
+    "ActionOutcome",
+    "PredictionReport",
+    "score_outcome",
+]

@@ -1,0 +1,363 @@
+"""Explicit-state exploration of world states.
+
+The :class:`Explorer` enumerates what can happen next from a world
+(deliveries per applicable handler, timer firings, optional drops and
+generic-node injections), computes successor worlds by running the real
+handler code in a sandbox, and performs bounded BFS with visited-state
+hashing.  Exposed choices inside handlers are *branching points*: every
+candidate value yields its own successor (Section 3.1's
+non-deterministic automaton semantics).
+
+Given a :class:`~repro.model.NetworkModel`, successor worlds advance
+their time estimate by predicted delivery delays — "integrating this
+information into a state-space exploration algorithm turns a model
+checker into a simulator" (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..statemachine.context import ChoiceRequested, SandboxContext
+from ..statemachine.service import Service
+from .actions import Action, DeliverAction, DropAction, InjectAction, TimerAction
+from .properties import SafetyProperty, violated_properties
+from .world import InFlightMessage, PendingTimer, WorldState
+
+ServiceFactory = Callable[[int], Service]
+
+DEFAULT_STEP_TIME = 0.05
+
+
+class ExplorationError(Exception):
+    """Raised on malformed exploration requests."""
+
+
+@dataclass
+class Violation:
+    """A safety property violated along an explored path."""
+
+    property_name: str
+    path: Tuple[Action, ...]
+    world: WorldState
+
+    @property
+    def initial_action(self) -> Action:
+        """The first action of the violating path (what steering must avoid)."""
+        return self.path[0]
+
+    def describe(self) -> str:
+        steps = " ; ".join(a.describe() for a in self.path)
+        return f"{self.property_name} after [{steps}]"
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a bounded BFS."""
+
+    states_explored: int = 0
+    transitions: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    max_depth: int = 0
+    truncated: bool = False
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violations)
+
+
+class Explorer:
+    """Enumerates and applies enabled actions over world states."""
+
+    def __init__(
+        self,
+        service_factory: ServiceFactory,
+        properties: Iterable[SafetyProperty] = (),
+        network_model: Optional[object] = None,
+        include_drops: bool = False,
+        generic_node: Optional[object] = None,
+        rng_seed: int = 0,
+        max_choice_variants: int = 64,
+    ) -> None:
+        self.service_factory = service_factory
+        self.properties = list(properties)
+        self.network_model = network_model
+        self.include_drops = include_drops
+        self.generic_node = generic_node
+        self.rng_seed = rng_seed
+        self.max_choice_variants = max_choice_variants
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(self, world: WorldState, node_id: int) -> Service:
+        """Instantiate the node's service from its checkpoint in ``world``."""
+        service = self.service_factory(node_id)
+        service.restore(world.state_of(node_id))
+        return service
+
+    # ------------------------------------------------------------------
+    # Enabled actions
+    # ------------------------------------------------------------------
+
+    def enabled_actions(self, world: WorldState) -> List[Action]:
+        """All actions possible from ``world``, in deterministic order."""
+        actions: List[Action] = []
+        seen_messages = set()
+        for message in world.inflight:
+            key = message.key()
+            if key in seen_messages:
+                continue  # identical duplicates are equivalent to explore once
+            seen_messages.add(key)
+            if not world.is_up(message.dst) or message.dst not in world.node_states:
+                continue
+            service = self.materialize(world, message.dst)
+            for spec in service.applicable_handlers(message.src, message.msg):
+                actions.append(
+                    DeliverAction(src=message.src, dst=message.dst,
+                                  msg=message.msg, handler=spec.name)
+                )
+        for timer in world.timers:
+            if world.is_up(timer.node) and timer.node in world.node_states:
+                actions.append(TimerAction(node=timer.node, name=timer.name, payload=timer.payload))
+        if self.include_drops:
+            seen_messages.clear()
+            for message in world.inflight:
+                key = message.key()
+                if key in seen_messages:
+                    continue
+                seen_messages.add(key)
+                actions.append(DropAction(src=message.src, dst=message.dst, msg=message.msg))
+        if self.generic_node is not None:
+            for src, dst, msg in self.generic_node.possible_messages(world.live_nodes()):
+                actions.append(InjectAction(src=src, dst=dst, msg=msg))
+        return actions
+
+    # ------------------------------------------------------------------
+    # Applying actions
+    # ------------------------------------------------------------------
+
+    def successors(self, world: WorldState, action: Action) -> List[WorldState]:
+        """All successor worlds of applying ``action`` (one per inner
+        choice-script variant)."""
+        if isinstance(action, DeliverAction):
+            return self._apply_deliver(world, action)
+        if isinstance(action, TimerAction):
+            return self._apply_timer(world, action)
+        if isinstance(action, DropAction):
+            return [
+                world.evolve(
+                    remove_inflight=InFlightMessage(action.src, action.dst, action.msg),
+                    time_delta=0.0,
+                )
+            ]
+        if isinstance(action, InjectAction):
+            return [
+                world.evolve(
+                    add_inflight=[InFlightMessage(action.src, action.dst, action.msg)],
+                    time_delta=0.0,
+                )
+            ]
+        raise ExplorationError(f"unknown action type {type(action).__name__}")
+
+    def _delivery_delay(self, src: int, dst: int, msg: Any) -> float:
+        if self.network_model is None:
+            return DEFAULT_STEP_TIME
+        size = msg.wire_size() if hasattr(msg, "wire_size") else 1024
+        return self.network_model.transfer_time(src, dst, size)
+
+    def _apply_deliver(self, world: WorldState, action: DeliverAction) -> List[WorldState]:
+        def invoke(service: Service) -> None:
+            specs = [s for s in service.applicable_handlers(action.src, action.msg)
+                     if s.name == action.handler]
+            if not specs:
+                # Guard no longer passes after restoration drift; treat
+                # the delivery as a no-op rather than crashing exploration.
+                return
+            service.invoke_handler(specs[0], action.src, action.msg)
+
+        variants = self._invoke_variants(world, action.dst, invoke)
+        delay = self._delivery_delay(action.src, action.dst, action.msg)
+        removed = InFlightMessage(action.src, action.dst, action.msg)
+        return [
+            self._build_successor(world, action.dst, checkpoint, effects,
+                                  remove_inflight=removed, time_delta=delay)
+            for checkpoint, effects in variants
+        ]
+
+    def _apply_timer(self, world: WorldState, action: TimerAction) -> List[WorldState]:
+        matching = [t for t in world.timers
+                    if t.node == action.node and t.name == action.name]
+        if not matching:
+            raise ExplorationError(f"timer not pending: {action!r}")
+        timer = matching[0]
+
+        def invoke(service: Service) -> None:
+            service.fire_timer(action.name, action.payload)
+
+        variants = self._invoke_variants(world, action.node, invoke)
+        return [
+            self._build_successor(
+                world, action.node, checkpoint, effects,
+                remove_timers_extra=[(timer.node, timer.name)],
+                time_delta=max(timer.delay, 0.0) or DEFAULT_STEP_TIME,
+            )
+            for checkpoint, effects in variants
+        ]
+
+    def _invoke_variants(
+        self,
+        world: WorldState,
+        node_id: int,
+        invoke: Callable[[Service], None],
+    ) -> List[Tuple[Dict[str, Any], Any]]:
+        """Run a handler under every inner choice-script variant.
+
+        Each exposed choice reached inside the handler multiplies the
+        branches (bounded by ``max_choice_variants``).  Returns a list
+        of ``(new_checkpoint, effects)``.
+        """
+        results: List[Tuple[Dict[str, Any], Any]] = []
+        stack: List[List[Any]] = [[]]
+        expansions = 0
+        while stack:
+            script = stack.pop()
+            service = self.materialize(world, node_id)
+            ctx = SandboxContext(
+                node_id, now=world.time, choice_script=list(script),
+                rng_seed=self.rng_seed,
+            )
+            service.ctx = ctx
+            try:
+                invoke(service)
+            except ChoiceRequested as request:
+                expansions += 1
+                if expansions > self.max_choice_variants:
+                    continue  # bound the blow-up; drop this branch family
+                for candidate in reversed(request.point.candidates):
+                    stack.append(list(request.consumed) + [candidate])
+                continue
+            results.append((service.checkpoint(), ctx.effects))
+        return results
+
+    def _build_successor(
+        self,
+        world: WorldState,
+        node_id: int,
+        checkpoint: Dict[str, Any],
+        effects,
+        remove_inflight: Optional[InFlightMessage] = None,
+        remove_timers_extra: Iterable[Tuple[int, str]] = (),
+        time_delta: float = DEFAULT_STEP_TIME,
+    ) -> WorldState:
+        add_inflight = [
+            InFlightMessage(src=node_id, dst=dst, msg=msg) for dst, msg in effects.sent
+        ]
+        remove_timers = [(node_id, name) for name in effects.timers_cancelled]
+        remove_timers.extend(remove_timers_extra)
+        add_timers = [
+            PendingTimer(node=node_id, name=name, payload=payload, delay=delay)
+            for name, delay, payload in effects.timers_set
+        ]
+        return world.evolve(
+            node_id=node_id,
+            new_state=checkpoint,
+            remove_inflight=remove_inflight,
+            add_inflight=add_inflight,
+            remove_timers=remove_timers,
+            add_timers=add_timers,
+            time_delta=time_delta,
+        )
+
+    # ------------------------------------------------------------------
+    # Property checking and search
+    # ------------------------------------------------------------------
+
+    def check(self, world: WorldState) -> List[str]:
+        """Names of properties violated in ``world``."""
+        return violated_properties(world, self.properties)
+
+    def bfs(
+        self,
+        root: WorldState,
+        max_depth: int = 5,
+        max_states: int = 10_000,
+    ) -> ExplorationResult:
+        """Bounded breadth-first exploration from ``root``.
+
+        Evaluates every safety property in every visited state; returns
+        counts, violations (with their paths), and whether the state
+        budget truncated the search.
+        """
+        result = ExplorationResult()
+        visited = {root.digest()}
+        result.states_explored = 1
+        for name in self.check(root):
+            result.violations.append(Violation(property_name=name, path=(), world=root))
+        frontier: deque = deque([(root, ())])
+        while frontier:
+            world, path = frontier.popleft()
+            relative_depth = world.depth - root.depth
+            result.max_depth = max(result.max_depth, relative_depth)
+            if relative_depth >= max_depth:
+                continue
+            for action in self.enabled_actions(world):
+                for successor in self.successors(world, action):
+                    result.transitions += 1
+                    key = successor.digest()
+                    if key in visited:
+                        continue
+                    if result.states_explored >= max_states:
+                        result.truncated = True
+                        return result
+                    visited.add(key)
+                    result.states_explored += 1
+                    new_path = path + (action,)
+                    for name in self.check(successor):
+                        result.violations.append(
+                            Violation(property_name=name, path=new_path, world=successor)
+                        )
+                    frontier.append((successor, new_path))
+        return result
+
+
+def created_event_keys(before: WorldState, after: WorldState) -> set:
+    """Keys of messages/timers present in ``after`` but not ``before``.
+
+    Used by consequence prediction to follow causal chains: the events
+    an action *created* are exactly what its chain may consume next.
+    """
+    before_msgs = Counter(m.key() for m in before.inflight)
+    after_msgs = Counter(m.key() for m in after.inflight)
+    created = set((after_msgs - before_msgs).keys())
+    before_timers = {t.key() for t in before.timers}
+    for timer in after.timers:
+        if timer.key() not in before_timers:
+            created.add(timer.key())
+    return created
+
+
+def consumed_event_key(action: Action) -> Optional[Tuple]:
+    """The event key an action consumes (``None`` for injections)."""
+    from ..statemachine.serialization import freeze
+
+    if isinstance(action, (DeliverAction, DropAction)):
+        return (action.src, action.dst, freeze(action.msg))
+    if isinstance(action, TimerAction):
+        return (action.node, action.name, freeze(action.payload))
+    return None
+
+
+__all__ = [
+    "Explorer",
+    "ExplorationError",
+    "ExplorationResult",
+    "Violation",
+    "ServiceFactory",
+    "created_event_keys",
+    "consumed_event_key",
+    "DEFAULT_STEP_TIME",
+]

@@ -1,0 +1,105 @@
+"""Bounded liveness checking.
+
+"Systems such as MaceMC and CrystalBall already contain the ability to
+specify safety and liveness properties" (Section 3.2).  Over a finite
+horizon the practical liveness question is *reachability of progress*:
+can the system still reach a state satisfying the progress predicate?
+:class:`BoundedLivenessChecker` answers it by bounded BFS, returning a
+witness path when progress is reachable and the explored frontier
+statistics when it is not (a bounded-liveness violation candidate, in
+MaceMC terminology a potential dead state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .actions import Action
+from .explorer import Explorer
+from .world import WorldState
+
+Predicate = Callable[[WorldState], bool]
+
+
+@dataclass(frozen=True)
+class LivenessProperty:
+    """A progress condition that must remain reachable."""
+
+    name: str
+    predicate: Predicate
+
+
+@dataclass
+class LivenessResult:
+    """Outcome of a bounded progress-reachability check."""
+
+    property_name: str
+    reachable: bool
+    witness_path: Tuple[Action, ...] = ()
+    witness_world: Optional[WorldState] = None
+    states_explored: int = 0
+    truncated: bool = False
+
+    @property
+    def violated(self) -> bool:
+        """Progress unreachable within the bound *and* the search was
+        exhaustive — a genuine dead region of the state space."""
+        return not self.reachable and not self.truncated
+
+
+class BoundedLivenessChecker:
+    """Checks whether a progress predicate is reachable from a world."""
+
+    def __init__(self, explorer: Explorer, max_depth: int = 6, max_states: int = 10_000) -> None:
+        self.explorer = explorer
+        self.max_depth = max_depth
+        self.max_states = max_states
+
+    def check(self, world: WorldState, prop: LivenessProperty) -> LivenessResult:
+        """Bounded BFS for a state satisfying ``prop``."""
+        if prop.predicate(world):
+            return LivenessResult(property_name=prop.name, reachable=True,
+                                  witness_world=world, states_explored=1)
+        visited = {world.digest()}
+        frontier: deque = deque([(world, ())])
+        states = 1
+        truncated = False
+        while frontier:
+            current, path = frontier.popleft()
+            if current.depth - world.depth >= self.max_depth:
+                continue
+            for action in self.explorer.enabled_actions(current):
+                for successor in self.explorer.successors(current, action):
+                    key = successor.digest()
+                    if key in visited:
+                        continue
+                    if states >= self.max_states:
+                        truncated = True
+                        frontier.clear()
+                        break
+                    visited.add(key)
+                    states += 1
+                    new_path = path + (action,)
+                    if prop.predicate(successor):
+                        return LivenessResult(
+                            property_name=prop.name, reachable=True,
+                            witness_path=new_path, witness_world=successor,
+                            states_explored=states,
+                        )
+                    frontier.append((successor, new_path))
+                else:
+                    continue
+                break
+        return LivenessResult(
+            property_name=prop.name, reachable=False,
+            states_explored=states, truncated=truncated,
+        )
+
+    def check_all(self, world: WorldState, properties: List[LivenessProperty]) -> List[LivenessResult]:
+        """Check every liveness property independently."""
+        return [self.check(world, prop) for prop in properties]
+
+
+__all__ = ["LivenessProperty", "LivenessResult", "BoundedLivenessChecker"]

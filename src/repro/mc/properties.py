@@ -1,0 +1,67 @@
+"""Safety properties over world states.
+
+"Systems such as MaceMC and CrystalBall already contain the ability to
+specify safety and liveness properties" (Section 3.2).  A
+:class:`SafetyProperty` is a named predicate over a
+:class:`~repro.mc.world.WorldState`; the explorer evaluates the full
+set at every state it visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class SafetyProperty:
+    """A predicate that must hold in every reachable state."""
+
+    name: str
+    predicate: Predicate
+
+    def holds(self, world: Any) -> bool:
+        """Whether the property holds in ``world``."""
+        return bool(self.predicate(world))
+
+
+def violated_properties(world: Any, properties: Iterable[SafetyProperty]) -> List[str]:
+    """Names of all properties violated in ``world``."""
+    return [prop.name for prop in properties if not prop.holds(world)]
+
+
+def all_nodes(predicate: Callable[[int, dict], bool], name: str) -> SafetyProperty:
+    """Property: ``predicate(node_id, state)`` holds at every live node."""
+
+    def check(world: Any) -> bool:
+        return all(
+            predicate(node_id, world.state_of(node_id))
+            for node_id in world.live_nodes()
+        )
+
+    return SafetyProperty(name=name, predicate=check)
+
+
+def pairwise(predicate: Callable[[int, dict, int, dict], bool], name: str) -> SafetyProperty:
+    """Property: ``predicate`` holds for every ordered pair of live nodes.
+
+    This is the shape of CrystalBall's cross-node consistency
+    properties (e.g. "if b lists a as a child, a's parent is b").
+    """
+
+    def check(world: Any) -> bool:
+        live = world.live_nodes()
+        for a in live:
+            for b in live:
+                if a == b:
+                    continue
+                if not predicate(a, world.state_of(a), b, world.state_of(b)):
+                    return False
+        return True
+
+    return SafetyProperty(name=name, predicate=check)
+
+
+__all__ = ["SafetyProperty", "violated_properties", "all_nodes", "pairwise"]

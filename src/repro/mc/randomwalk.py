@@ -1,0 +1,95 @@
+"""Random-walk simulation over world states.
+
+Section 3.3.2: integrating network performance information "into a
+state-space exploration algorithm turns a model checker into a
+simulator that runs a large number of simulations."  Where exhaustive
+exploration is too wide (deep horizons, many concurrent events),
+:class:`RandomWalkSimulator` samples executions instead: each walk
+picks a uniformly random enabled action at every step, so a batch of
+walks estimates the *distribution* of a metric over possible futures
+rather than its exact envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .explorer import Explorer
+from .world import WorldState
+
+Metric = Callable[[WorldState], float]
+
+
+@dataclass
+class Walk:
+    """One sampled execution."""
+
+    final_world: WorldState
+    steps: int
+    ended_early: bool  # no enabled actions before the depth bound
+
+
+@dataclass
+class SampleReport:
+    """A batch of walks plus optional metric samples."""
+
+    walks: List[Walk] = field(default_factory=list)
+    metric_samples: List[float] = field(default_factory=list)
+
+    @property
+    def mean_metric(self) -> Optional[float]:
+        if not self.metric_samples:
+            return None
+        return sum(self.metric_samples) / len(self.metric_samples)
+
+    @property
+    def mean_final_time(self) -> Optional[float]:
+        if not self.walks:
+            return None
+        return sum(w.final_world.time for w in self.walks) / len(self.walks)
+
+
+class RandomWalkSimulator:
+    """Samples random executions of a world."""
+
+    def __init__(self, explorer: Explorer, seed: int = 0) -> None:
+        self.explorer = explorer
+        self._rng = random.Random(seed)
+
+    def walk(self, world: WorldState, max_steps: int = 20) -> Walk:
+        """One random execution of up to ``max_steps`` actions."""
+        current = world
+        steps = 0
+        while steps < max_steps:
+            actions = self.explorer.enabled_actions(current)
+            if not actions:
+                return Walk(final_world=current, steps=steps, ended_early=True)
+            action = actions[self._rng.randrange(len(actions))]
+            successors = self.explorer.successors(current, action)
+            if not successors:
+                return Walk(final_world=current, steps=steps, ended_early=True)
+            current = successors[self._rng.randrange(len(successors))]
+            steps += 1
+        return Walk(final_world=current, steps=steps, ended_early=False)
+
+    def sample(
+        self,
+        world: WorldState,
+        walks: int = 32,
+        max_steps: int = 20,
+        metric: Optional[Metric] = None,
+    ) -> SampleReport:
+        """Run ``walks`` independent executions; evaluate ``metric`` on
+        each final world."""
+        report = SampleReport()
+        for _ in range(walks):
+            outcome = self.walk(world, max_steps=max_steps)
+            report.walks.append(outcome)
+            if metric is not None:
+                report.metric_samples.append(float(metric(outcome.final_world)))
+        return report
+
+
+__all__ = ["RandomWalkSimulator", "Walk", "SampleReport"]

@@ -1,0 +1,229 @@
+"""World states for model checking.
+
+A :class:`WorldState` is CrystalBall's unit of exploration: the
+checkpointed service state of every known node, the set of in-flight
+messages, the pending timers, and which nodes are down.  Worlds are
+plain data, cloneable, and hashable via a stable digest so the explorer
+can recognize revisits.
+
+Time in a world is an *estimate*: when the explorer is given a network
+model it advances ``time`` by predicted delivery delays, turning the
+model checker into a simulator (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..statemachine.serialization import freeze, snapshot_value
+
+
+@dataclass(frozen=True)
+class InFlightMessage:
+    """A message sent but not yet delivered."""
+
+    src: int
+    dst: int
+    msg: Any
+
+    def key(self) -> Tuple:
+        """Canonical identity used for matching and digests."""
+        return (self.src, self.dst, freeze(self.msg))
+
+
+@dataclass(frozen=True)
+class PendingTimer:
+    """An armed timer in some node's runtime.
+
+    ``delay`` is the interval it was armed with, kept for performance
+    estimation; in exploration any pending timer may fire next.
+    """
+
+    node: int
+    name: str
+    payload: Any
+    delay: float = 0.0
+
+    def key(self) -> Tuple:
+        return (self.node, self.name, freeze(self.payload))
+
+
+class WorldState:
+    """A global snapshot: node states + in-flight events."""
+
+    def __init__(
+        self,
+        node_states: Dict[int, Dict[str, Any]],
+        inflight: Iterable[InFlightMessage] = (),
+        timers: Iterable[PendingTimer] = (),
+        down: Iterable[int] = (),
+        time: float = 0.0,
+        depth: int = 0,
+        copy_states: bool = True,
+    ) -> None:
+        # State dicts inside a world are treated as immutable: services
+        # are always *restored* from them (which copies) and never hold
+        # references into them.  ``copy_states=False`` lets internal
+        # paths (clone/evolve, checkpoints that are already copies)
+        # share them, keeping successor generation O(changed node)
+        # instead of O(all nodes).
+        if copy_states:
+            self.node_states = {
+                nid: snapshot_value(state) for nid, state in node_states.items()
+            }
+        else:
+            self.node_states = dict(node_states)
+        self.inflight: List[InFlightMessage] = list(inflight)
+        self.timers: List[PendingTimer] = list(timers)
+        self.down: FrozenSet[int] = frozenset(down)
+        self.time = time
+        self.depth = depth
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Known node ids, ascending."""
+        return sorted(self.node_states)
+
+    def state_of(self, node_id: int) -> Dict[str, Any]:
+        """Checkpoint dict of one node (live reference, do not mutate)."""
+        return self.node_states[node_id]
+
+    def is_up(self, node_id: int) -> bool:
+        """Whether the node is up in this world."""
+        return node_id not in self.down
+
+    def live_nodes(self) -> List[int]:
+        """Known node ids that are up."""
+        return [nid for nid in self.node_ids if nid not in self.down]
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "WorldState":
+        """Deep copy (state dicts copied; messages/timers are immutable)."""
+        return WorldState(
+            node_states=self.node_states,
+            inflight=self.inflight,
+            timers=self.timers,
+            down=self.down,
+            time=self.time,
+            depth=self.depth,
+            copy_states=False,
+        )
+
+    def evolve(
+        self,
+        node_id: Optional[int] = None,
+        new_state: Optional[Dict[str, Any]] = None,
+        remove_inflight: Optional[InFlightMessage] = None,
+        add_inflight: Iterable[InFlightMessage] = (),
+        remove_timers: Iterable[Tuple[int, str]] = (),
+        add_timers: Iterable[PendingTimer] = (),
+        time_delta: float = 0.0,
+    ) -> "WorldState":
+        """Return a successor world with the given deltas applied.
+
+        ``remove_inflight`` removes one instance matching by key (a
+        multiset removal); ``remove_timers`` removes all timers with the
+        given ``(node, name)``; ``add_timers`` then re-arms (so a re-armed
+        timer supersedes its predecessor, matching live semantics).
+        """
+        successor = self.clone()
+        if node_id is not None and new_state is not None:
+            successor.node_states = dict(successor.node_states)
+            successor.node_states[node_id] = snapshot_value(new_state)
+        if remove_inflight is not None:
+            target = remove_inflight.key()
+            for index, message in enumerate(successor.inflight):
+                if message.key() == target:
+                    successor.inflight = (
+                        successor.inflight[:index] + successor.inflight[index + 1:]
+                    )
+                    break
+            else:
+                raise ValueError(f"message not in flight: {remove_inflight!r}")
+        removals = set(remove_timers)
+        if removals:
+            successor.timers = [
+                t for t in successor.timers if (t.node, t.name) not in removals
+            ]
+        added = list(add_timers)
+        if added:
+            rearmed = {(t.node, t.name) for t in added}
+            successor.timers = [
+                t for t in successor.timers if (t.node, t.name) not in rearmed
+            ] + added
+        extra = list(add_inflight)
+        if extra:
+            successor.inflight = successor.inflight + extra
+        successor.time = self.time + time_delta
+        successor.depth = self.depth + 1
+        return successor
+
+    def with_down(self, down: Iterable[int]) -> "WorldState":
+        """Copy of this world with a different down-set."""
+        successor = self.clone()
+        successor.down = frozenset(down)
+        return successor
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def frozen(self) -> Tuple:
+        """Canonical hashable form (time/depth excluded: they are
+        bookkeeping, not protocol state)."""
+        states = tuple(
+            (nid, freeze(self.node_states[nid])) for nid in sorted(self.node_states)
+        )
+        messages = tuple(sorted((m.key() for m in self.inflight), key=repr))
+        timers = tuple(sorted((t.key() for t in self.timers), key=repr))
+        return (states, messages, timers, tuple(sorted(self.down)))
+
+    def digest(self) -> str:
+        """Stable hex digest for visited-state tracking."""
+        return digest_of_frozen(self.frozen())
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldState(nodes={len(self.node_states)}, inflight={len(self.inflight)}, "
+            f"timers={len(self.timers)}, down={sorted(self.down)}, depth={self.depth})"
+        )
+
+
+def digest_of_frozen(frozen_value: Tuple) -> str:
+    """Digest an already-frozen composite value."""
+    import hashlib
+
+    return hashlib.sha256(repr(frozen_value).encode("utf-8")).hexdigest()[:16]
+
+
+def world_from_services(services, node_hosts=None, down: Iterable[int] = (), time: float = 0.0) -> WorldState:
+    """Build a world from live service instances (and optionally their
+    hosting nodes, to capture pending timers)."""
+    node_states = {service.node_id: service.checkpoint() for service in services}
+    timers: List[PendingTimer] = []
+    if node_hosts is not None:
+        for host in node_hosts:
+            for name, deadline, payload in host.pending_timers():
+                timers.append(
+                    PendingTimer(node=host.node_id, name=name, payload=payload,
+                                 delay=max(0.0, deadline - time))
+                )
+    # checkpoint() already deep-copies, so the world can adopt the dicts.
+    return WorldState(node_states=node_states, timers=timers, down=down, time=time,
+                      copy_states=False)
+
+
+__all__ = [
+    "InFlightMessage",
+    "PendingTimer",
+    "WorldState",
+    "world_from_services",
+]

@@ -1,0 +1,88 @@
+"""E1 comparison: baseline vs choice-exposed implementation metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from .complexity import ModuleComplexity, analyze_file
+from .loc import logical_loc_of_file
+
+
+@dataclass
+class ImplementationMetrics:
+    """LoC and complexity numbers for one implementation file."""
+
+    path: str
+    loc: int
+    complexity: ModuleComplexity
+
+    @property
+    def branches_per_handler(self) -> float:
+        return self.complexity.branches_per_handler
+
+
+@dataclass
+class ComparisonReport:
+    """Baseline-vs-exposed development-effort comparison (the E1 table)."""
+
+    baseline: ImplementationMetrics
+    exposed: ImplementationMetrics
+
+    @property
+    def loc_reduction(self) -> float:
+        """Fraction of baseline LoC removed by exposing choices."""
+        if self.baseline.loc == 0:
+            return 0.0
+        return 1.0 - (self.exposed.loc / self.baseline.loc)
+
+    def rows(self):
+        """Table rows matching the paper's Section 4 numbers."""
+        return [
+            ("lines of code", self.baseline.loc, self.exposed.loc),
+            (
+                "if-else per handler",
+                round(self.baseline.branches_per_handler, 2),
+                round(self.exposed.branches_per_handler, 2),
+            ),
+            ("handlers", self.baseline.complexity.handler_count,
+             self.exposed.complexity.handler_count),
+            ("guards", self.baseline.complexity.guard_count,
+             self.exposed.complexity.guard_count),
+        ]
+
+    def format_table(self) -> str:
+        lines = [f"{'metric':<22}{'baseline':>10}{'exposed':>10}"]
+        for name, base, exp in self.rows():
+            lines.append(f"{name:<22}{base:>10}{exp:>10}")
+        lines.append(f"{'LoC reduction':<22}{'':>10}{self.loc_reduction:>9.0%}")
+        return "\n".join(lines)
+
+
+def measure_file(path: str) -> ImplementationMetrics:
+    """LoC + complexity of one implementation file."""
+    return ImplementationMetrics(
+        path=path, loc=logical_loc_of_file(path), complexity=analyze_file(path),
+    )
+
+
+def compare_files(baseline_path: str, exposed_path: str) -> ComparisonReport:
+    """Build the E1 report for a pair of implementation files."""
+    return ComparisonReport(
+        baseline=measure_file(baseline_path), exposed=measure_file(exposed_path),
+    )
+
+
+def compare_randtree() -> ComparisonReport:
+    """The paper's exact comparison: our two RandTree implementations."""
+    from ..apps.randtree import baseline as baseline_module
+    from ..apps.randtree import exposed as exposed_module
+
+    return compare_files(baseline_module.__file__, exposed_module.__file__)
+
+
+__all__ = [
+    "ImplementationMetrics",
+    "ComparisonReport",
+    "measure_file",
+    "compare_files",
+    "compare_randtree",
+]

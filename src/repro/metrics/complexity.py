@@ -1,0 +1,132 @@
+"""Handler-complexity metric: if-else statements per handler.
+
+Section 4: "Using the number of if-else statements per handler to
+capture complexity, we observe that the complexity of the new code is
+0.28, which is significantly lower than the baseline (1.94)."
+
+A *handler* is any method decorated with ``msg_handler`` or
+``timer_handler``.  Branch constructs counted inside a handler body:
+``if``/``elif`` statements (each is one ``ast.If``), ``else`` blocks
+that are not ``elif`` chains, and conditional expressions.  Guard
+predicates attached via decorators are reported separately — moving
+dispatch conditions out of handler bodies into declarative guards is
+precisely the restructuring the paper advocates, and the separate count
+keeps the comparison honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+_HANDLER_DECORATORS = {"msg_handler", "timer_handler"}
+
+
+@dataclass
+class HandlerComplexity:
+    """Branch statistics for one handler method."""
+
+    name: str
+    branches: int
+    has_guard: bool
+
+
+@dataclass
+class ModuleComplexity:
+    """Complexity summary of one module."""
+
+    handlers: List[HandlerComplexity] = field(default_factory=list)
+    guard_count: int = 0
+
+    @property
+    def handler_count(self) -> int:
+        return len(self.handlers)
+
+    @property
+    def total_branches(self) -> int:
+        return sum(h.branches for h in self.handlers)
+
+    @property
+    def branches_per_handler(self) -> float:
+        """The paper's metric: mean if-else statements per handler."""
+        if not self.handlers:
+            return 0.0
+        return self.total_branches / len(self.handlers)
+
+
+def _decorator_name(decorator: ast.expr) -> Optional[str]:
+    if isinstance(decorator, ast.Call):
+        target = decorator.func
+    else:
+        target = decorator
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _has_guard(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    if any(kw.arg == "guard" for kw in decorator.keywords):
+        return True
+    return len(decorator.args) > 1
+
+
+def count_branches(node: ast.AST) -> int:
+    """Branch constructs in a subtree: if/elif, standalone else, ternary."""
+    branches = 0
+    for child in ast.walk(node):
+        if isinstance(child, ast.If):
+            branches += 1
+            # A non-empty orelse that is not an elif chain is an `else`.
+            if child.orelse and not (
+                len(child.orelse) == 1 and isinstance(child.orelse[0], ast.If)
+            ):
+                branches += 1
+        elif isinstance(child, ast.IfExp):
+            branches += 1
+    return branches
+
+
+def analyze_source(source: str) -> ModuleComplexity:
+    """Extract handler complexity statistics from module source."""
+    tree = ast.parse(source)
+    result = ModuleComplexity()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        handler_decorators = [
+            d for d in node.decorator_list
+            if _decorator_name(d) in _HANDLER_DECORATORS
+        ]
+        if not handler_decorators:
+            continue
+        guarded = any(_has_guard(d) for d in handler_decorators)
+        if guarded:
+            result.guard_count += sum(1 for d in handler_decorators if _has_guard(d))
+        result.handlers.append(
+            HandlerComplexity(
+                name=node.name,
+                branches=count_branches(node),
+                has_guard=guarded,
+            )
+        )
+    return result
+
+
+def analyze_file(path: str) -> ModuleComplexity:
+    """Handler complexity of a Python source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return analyze_source(handle.read())
+
+
+__all__ = [
+    "HandlerComplexity",
+    "ModuleComplexity",
+    "count_branches",
+    "analyze_source",
+    "analyze_file",
+]

@@ -1,0 +1,76 @@
+"""Logical lines-of-code counting.
+
+E1 reproduces the paper's headline development-effort numbers:
+"Exposing choices results in a 43% decrease in lines of code (from 487
+to 280)".  To compare our two RandTree implementations fairly we count
+*logical* lines: non-blank, non-comment source lines, excluding
+docstrings (which exist for documentation quality, not protocol
+logic).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from typing import Set
+
+_IGNORED_TOKENS = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def _docstring_lines(source: str) -> Set[int]:
+    """Line numbers occupied by module/class/function docstrings."""
+    lines: Set[int] = set()
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        body = getattr(node, "body", [])
+        if not body:
+            continue
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            lines.update(range(first.lineno, (first.end_lineno or first.lineno) + 1))
+    return lines
+
+
+def logical_loc(source: str) -> int:
+    """Number of logical source lines in a piece of Python code.
+
+    A line counts when it carries at least one code token and is not
+    part of a docstring.  Blank lines, comments, and docstrings do not
+    count; a statement spread over several physical lines counts each
+    physical line it occupies (matching how LoC is conventionally
+    reported for C++/Mace sources).
+    """
+    doc_lines = _docstring_lines(source)
+    code_lines: Set[int] = set()
+    reader = io.StringIO(source).readline
+    for token in tokenize.generate_tokens(reader):
+        if token.type in _IGNORED_TOKENS:
+            continue
+        for line in range(token.start[0], token.end[0] + 1):
+            code_lines.add(line)
+    return len(code_lines - doc_lines)
+
+
+def logical_loc_of_file(path: str) -> int:
+    """Logical LoC of a Python source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return logical_loc(handle.read())
+
+
+__all__ = ["logical_loc", "logical_loc_of_file"]

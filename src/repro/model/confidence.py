@@ -1,0 +1,57 @@
+"""Confidence in model information as a function of its age.
+
+Section 3.3.2: "To quantify the quality of the information in the
+model, it may be productive to incorporate confidence in the
+information as a function of its age."  We use exponential decay with a
+configurable half-life, scaled by a saturating sample-count factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+DEFAULT_HALF_LIFE = 30.0
+SAMPLE_SATURATION = 8.0
+
+
+def age_confidence(age: float, half_life: float = DEFAULT_HALF_LIFE) -> float:
+    """Confidence in [0, 1] for information ``age`` seconds old.
+
+    Decays by half every ``half_life`` seconds; fresh information has
+    confidence 1.  Negative ages (clock skew) are clamped to fresh.
+    """
+    if half_life <= 0:
+        raise ValueError(f"half_life must be positive, got {half_life!r}")
+    if age <= 0:
+        return 1.0
+    return math.pow(0.5, age / half_life)
+
+
+def sample_confidence(samples: int, saturation: float = SAMPLE_SATURATION) -> float:
+    """Confidence in [0, 1) growing with the number of observations.
+
+    One sample gives modest confidence; ``saturation`` samples give
+    ~63%; confidence approaches 1 asymptotically.
+    """
+    if samples <= 0:
+        return 0.0
+    return 1.0 - math.exp(-samples / saturation)
+
+
+def combined_confidence(
+    age: float,
+    samples: int,
+    half_life: float = DEFAULT_HALF_LIFE,
+    saturation: float = SAMPLE_SATURATION,
+) -> float:
+    """Product of age and sample confidence."""
+    return age_confidence(age, half_life) * sample_confidence(samples, saturation)
+
+
+__all__ = [
+    "age_confidence",
+    "sample_confidence",
+    "combined_confidence",
+    "DEFAULT_HALF_LIFE",
+    "SAMPLE_SATURATION",
+]

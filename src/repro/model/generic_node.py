@@ -1,0 +1,54 @@
+"""Generic (dummy) nodes: modelling the unknown part of the system.
+
+Section 3.3.2: "To move the horizon beyond the currently collected node
+neighborhood, we propose the notion of a generic (dummy) node.  The
+state of such a node is under-specified, which allows the model to
+explicitly take [into account] the partial nature of the available
+information."
+
+A :class:`GenericNode` carries no concrete state; instead it declares
+*havoc templates* — message constructors describing what an unknown
+participant could plausibly send.  The explorer can inject these as
+extra enabled actions, which over-approximates the environment without
+symbolic execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence
+
+MessageTemplate = Callable[[int], Any]
+
+GENERIC_NODE_ID = -1
+
+
+@dataclass
+class GenericNode:
+    """An under-specified participant outside the known neighborhood.
+
+    :param node_id: identity used as the source of injected messages
+        (defaults to the reserved :data:`GENERIC_NODE_ID`).
+    :param templates: callables mapping a *target* node id to a message
+        the generic node could send it.
+    """
+
+    node_id: int = GENERIC_NODE_ID
+    templates: List[MessageTemplate] = field(default_factory=list)
+
+    def add_template(self, template: MessageTemplate) -> None:
+        """Register one more plausible message constructor."""
+        self.templates.append(template)
+
+    def possible_messages(self, targets: Sequence[int]) -> List[tuple]:
+        """All ``(src, dst, msg)`` injections against the given targets."""
+        out = []
+        for target in targets:
+            for template in self.templates:
+                msg = template(target)
+                if msg is not None:
+                    out.append((self.node_id, target, msg))
+        return out
+
+
+__all__ = ["GenericNode", "GENERIC_NODE_ID", "MessageTemplate"]

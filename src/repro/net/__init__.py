@@ -1,0 +1,37 @@
+"""Network emulation substrate (the ModelNet substitute).
+
+Link model with latency/bandwidth/loss, topology builders including an
+Internet-like transit-stub generator, and a transport with TCP-like
+breakable per-pair connections as required by CrystalBall's execution
+steering.
+"""
+
+from .dynamics import CongestionEpisode, LinkDynamics, schedule_latency_change
+from .link import LOOPBACK, Link, LinkError
+from .topology import (
+    Topology,
+    TopologyError,
+    full_mesh,
+    random_uniform,
+    star,
+    transit_stub,
+)
+from .transport import DEFAULT_MESSAGE_BYTES, Network, TransportError
+
+__all__ = [
+    "CongestionEpisode",
+    "LinkDynamics",
+    "schedule_latency_change",
+    "LOOPBACK",
+    "Link",
+    "LinkError",
+    "Topology",
+    "TopologyError",
+    "full_mesh",
+    "random_uniform",
+    "star",
+    "transit_stub",
+    "DEFAULT_MESSAGE_BYTES",
+    "Network",
+    "TransportError",
+]

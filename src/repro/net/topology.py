@@ -1,0 +1,183 @@
+"""Network topologies.
+
+A :class:`Topology` maps ordered node pairs to :class:`~repro.net.link.Link`
+parameters.  Builders cover the deployments the paper's examples run on:
+uniform clusters (full mesh), client/server stars, random wide-area
+latency mixes, and a transit-stub *Internet-like* topology matching the
+ModelNet setup of the case study (Section 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .link import LOOPBACK, Link
+
+
+class TopologyError(Exception):
+    """Raised for malformed topologies or unknown nodes."""
+
+
+class Topology:
+    """Pairwise link parameters over node ids ``0..n-1``.
+
+    Links are directed; :meth:`set_link` installs one direction, and
+    :meth:`set_symmetric` both.  Missing pairs fall back to ``default``
+    (if provided) so sparse constructions stay cheap.
+    """
+
+    def __init__(self, n: int, default: Optional[Link] = None) -> None:
+        if n <= 0:
+            raise TopologyError(f"topology needs at least one node, got n={n!r}")
+        self.n = n
+        self.default = default
+        self._links: Dict[Tuple[int, int], Link] = {}
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids, ascending."""
+        return list(range(self.n))
+
+    def _check(self, node_id: int) -> None:
+        if not 0 <= node_id < self.n:
+            raise TopologyError(f"node {node_id!r} outside 0..{self.n - 1}")
+
+    def set_link(self, src: int, dst: int, link: Link) -> None:
+        """Install a directed link from ``src`` to ``dst``."""
+        self._check(src)
+        self._check(dst)
+        self._links[(src, dst)] = link
+
+    def set_symmetric(self, a: int, b: int, link: Link) -> None:
+        """Install the same link parameters in both directions."""
+        self.set_link(a, b, link)
+        self.set_link(b, a, link)
+
+    def link(self, src: int, dst: int) -> Link:
+        """The link from ``src`` to ``dst``; loopback for ``src == dst``."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return LOOPBACK
+        found = self._links.get((src, dst))
+        if found is not None:
+            return found
+        if self.default is not None:
+            return self.default
+        raise TopologyError(f"no link from {src} to {dst} and no default")
+
+    def latency(self, src: int, dst: int) -> float:
+        """One-way propagation latency from ``src`` to ``dst``."""
+        return self.link(src, dst).latency
+
+    def pairs(self) -> Iterable[Tuple[int, int]]:
+        """All explicitly-installed directed pairs."""
+        return self._links.keys()
+
+    def __repr__(self) -> str:
+        return f"Topology(n={self.n}, explicit_links={len(self._links)})"
+
+
+def full_mesh(n: int, latency: float = 0.05, bandwidth: float = 10e6, loss: float = 0.0) -> Topology:
+    """Uniform full mesh: every pair shares the same link parameters."""
+    return Topology(n, default=Link(latency=latency, bandwidth=bandwidth, loss=loss))
+
+
+def star(
+    n: int,
+    center: int = 0,
+    spoke_latency: float = 0.02,
+    bandwidth: float = 10e6,
+    loss: float = 0.0,
+) -> Topology:
+    """Star topology: spokes reach each other through the center.
+
+    Spoke-to-spoke latency is the sum of the two spoke latencies.
+    """
+    topo = Topology(n)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            hops = (0 if i == center else 1) + (0 if j == center else 1)
+            topo.set_link(i, j, Link(latency=spoke_latency * hops, bandwidth=bandwidth, loss=loss))
+    return topo
+
+
+def random_uniform(
+    n: int,
+    rng: random.Random,
+    latency_range: Tuple[float, float] = (0.01, 0.1),
+    bandwidth_range: Tuple[float, float] = (5e6, 50e6),
+    loss: float = 0.0,
+) -> Topology:
+    """Random symmetric topology with uniform latency/bandwidth draws."""
+    lo, hi = latency_range
+    blo, bhi = bandwidth_range
+    topo = Topology(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            link = Link(
+                latency=rng.uniform(lo, hi),
+                bandwidth=rng.uniform(blo, bhi),
+                loss=loss,
+            )
+            topo.set_symmetric(i, j, link)
+    return topo
+
+
+def transit_stub(
+    n: int,
+    rng: random.Random,
+    n_transit: int = 4,
+    transit_latency_range: Tuple[float, float] = (0.02, 0.06),
+    stub_latency_range: Tuple[float, float] = (0.005, 0.02),
+    access_latency_range: Tuple[float, float] = (0.001, 0.005),
+    bandwidth_range: Tuple[float, float] = (5e6, 100e6),
+    loss: float = 0.0,
+) -> Topology:
+    """Internet-like transit-stub topology (the ModelNet setup of §4).
+
+    Each node hangs off a stub domain; each stub attaches to one transit
+    node; transit nodes form a backbone.  End-to-end latency between two
+    nodes is access + stub-uplink + backbone path + stub-downlink +
+    access, which yields the clustered wide-area latency distribution
+    that ModelNet's INET topologies produce.
+    """
+    if n_transit <= 0:
+        raise TopologyError("need at least one transit node")
+    # Backbone: pairwise latencies among transit nodes.
+    backbone: Dict[Tuple[int, int], float] = {}
+    tlo, thi = transit_latency_range
+    for a in range(n_transit):
+        for b in range(a + 1, n_transit):
+            lat = rng.uniform(tlo, thi)
+            backbone[(a, b)] = lat
+            backbone[(b, a)] = lat
+    slo, shi = stub_latency_range
+    alo, ahi = access_latency_range
+    transit_of = [rng.randrange(n_transit) for _ in range(n)]
+    stub_uplink = [rng.uniform(slo, shi) for _ in range(n)]
+    access = [rng.uniform(alo, ahi) for _ in range(n)]
+
+    blo, bhi = bandwidth_range
+    topo = Topology(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            ti, tj = transit_of[i], transit_of[j]
+            core = 0.0 if ti == tj else backbone[(ti, tj)]
+            lat = access[i] + stub_uplink[i] + core + stub_uplink[j] + access[j]
+            link = Link(latency=lat, bandwidth=rng.uniform(blo, bhi), loss=loss)
+            topo.set_symmetric(i, j, link)
+    return topo
+
+
+__all__ = [
+    "Topology",
+    "TopologyError",
+    "full_mesh",
+    "star",
+    "random_uniform",
+    "transit_stub",
+]

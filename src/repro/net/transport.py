@@ -1,0 +1,251 @@
+"""Message transport over a topology.
+
+:class:`Network` delivers application payloads between attached
+endpoints through the simulator, modelling per-link propagation,
+bandwidth serialization (FIFO per directed link), loss, node failures,
+partitions, and TCP-like per-pair connections.
+
+Connections matter because CrystalBall's execution steering works "by
+dropping the offending message and breaking the connection with the
+message sender" (Section 2): :meth:`Network.break_connection` discards
+all in-flight traffic on the pair and notifies both live endpoints.
+Reliable sends model retransmission as added delay instead of loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim import LivenessRegistry, Simulator
+
+OnMessage = Callable[[int, int, Any], None]
+OnBroken = Callable[[int], None]
+
+DEFAULT_MESSAGE_BYTES = 1024
+RETRANSMIT_TIMEOUT = 0.2
+
+
+class TransportError(Exception):
+    """Raised on sends from/to unattached endpoints."""
+
+
+@dataclass
+class _Endpoint:
+    on_message: OnMessage
+    on_broken: Optional[OnBroken]
+
+
+def _pair(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Network:
+    """Simulated transport bound to a topology and liveness registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology,
+        liveness: Optional[LivenessRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.liveness = liveness if liveness is not None else LivenessRegistry()
+        self._endpoints: Dict[int, _Endpoint] = {}
+        # TCP-like connection epoch per unordered pair: breaking a
+        # connection bumps the epoch, invalidating in-flight messages.
+        self._conn_epoch: Dict[Tuple[int, int], int] = {}
+        # FIFO per directed link: when the previous byte finishes serializing.
+        self._busy_until: Dict[Tuple[int, int], float] = {}
+        # Optional per-node uplink capacity (bits/s): all of a node's
+        # outgoing transfers serialize through it, modelling the shared
+        # access-link bottleneck content-distribution systems contend on.
+        self._uplink_bps: Dict[int, float] = {}
+        self._uplink_busy: Dict[int, float] = {}
+        # In-order delivery per directed pair for reliable traffic.
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._partition_groups: Optional[List[Set[int]]] = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+
+    def attach(self, node_id: int, on_message: OnMessage, on_broken: Optional[OnBroken] = None) -> None:
+        """Register the delivery callbacks for ``node_id``.
+
+        ``on_message(src, dst, payload)`` is invoked at delivery time;
+        ``on_broken(peer)`` when a connection with ``peer`` is broken.
+        """
+        self._endpoints[node_id] = _Endpoint(on_message=on_message, on_broken=on_broken)
+
+    def detach(self, node_id: int) -> None:
+        """Remove the endpoint; queued deliveries to it will be dropped."""
+        self._endpoints.pop(node_id, None)
+
+    def set_uplink(self, node_id: int, bits_per_second: float) -> None:
+        """Cap the node's total outgoing capacity at ``bits_per_second``."""
+        if bits_per_second <= 0:
+            raise TransportError(f"uplink capacity must be positive, got {bits_per_second!r}")
+        self._uplink_bps[node_id] = bits_per_second
+
+    def uplink(self, node_id: int) -> Optional[float]:
+        """The node's uplink cap in bits/s, or ``None`` if uncapped."""
+        return self._uplink_bps.get(node_id)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def set_partition(self, groups: List[Set[int]]) -> None:
+        """Install a partition: traffic between different groups is dropped.
+
+        Nodes absent from every group form an implicit extra group.
+        """
+        self._partition_groups = [set(g) for g in groups]
+
+    def clear_partition(self) -> None:
+        """Heal any installed partition."""
+        self._partition_groups = None
+
+    def _crosses_partition(self, a: int, b: int) -> bool:
+        if self._partition_groups is None:
+            return False
+        group_of: Dict[int, int] = {}
+        for idx, group in enumerate(self._partition_groups):
+            for node in group:
+                group_of[node] = idx
+        return group_of.get(a, -1) != group_of.get(b, -1)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+        reliable: bool = True,
+    ) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Reliable sends are delivered in order per pair, with loss turned
+        into retransmission delay; unreliable sends may be dropped by
+        link loss.  Returns ``False`` when the message is dropped at
+        send time (source down, partition, or sampled loss).
+        """
+        if src not in self._endpoints:
+            raise TransportError(f"source node {src} is not attached")
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if not self.liveness.is_up(src):
+            self._drop(src, dst, payload, "source-down")
+            return False
+        if self._crosses_partition(src, dst):
+            self._drop(src, dst, payload, "partition")
+            return False
+
+        link = self.topology.link(src, dst)
+        rng = self.sim.rng.stream("net.loss")
+        delay = link.latency
+        if reliable:
+            # Each sampled loss costs one retransmission timeout.
+            while link.loss > 0.0 and rng.random() < link.loss:
+                delay += RETRANSMIT_TIMEOUT + link.latency
+        elif link.loss > 0.0 and rng.random() < link.loss:
+            self._drop(src, dst, payload, "loss")
+            return False
+
+        # Serialize through the directed link FIFO and, when capped, the
+        # sender's shared uplink.
+        start = max(self.sim.now, self._busy_until.get((src, dst), 0.0))
+        uplink_bps = self._uplink_bps.get(src)
+        if uplink_bps is not None:
+            start = max(start, self._uplink_busy.get(src, 0.0))
+            effective_bps = min(link.bandwidth, uplink_bps)
+            tx_done = start + (size_bytes * 8.0) / effective_bps
+            self._uplink_busy[src] = tx_done
+        else:
+            tx_done = start + link.transmission_time(size_bytes)
+        self._busy_until[(src, dst)] = tx_done
+        arrival = tx_done + delay
+
+        if reliable:
+            # FIFO in-order delivery per directed pair.
+            arrival = max(arrival, self._last_delivery.get((src, dst), 0.0))
+            self._last_delivery[(src, dst)] = arrival
+
+        epoch = self._conn_epoch.get(_pair(src, dst), 0) if reliable else None
+        self.sim.trace.record(
+            self.sim.now, "net.send", node=src, dst=dst, size=size_bytes,
+            kind=type(payload).__name__,
+        )
+        self.sim.schedule_at(
+            arrival,
+            lambda: self._deliver(src, dst, payload, epoch),
+            tag=f"net.deliver:{src}->{dst}",
+        )
+        return True
+
+    def _deliver(self, src: int, dst: int, payload: Any, epoch: Optional[int]) -> None:
+        if epoch is not None and self._conn_epoch.get(_pair(src, dst), 0) != epoch:
+            self._drop(src, dst, payload, "connection-broken")
+            return
+        if not self.liveness.is_up(dst):
+            self._drop(src, dst, payload, "destination-down")
+            return
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            self._drop(src, dst, payload, "detached")
+            return
+        self.messages_delivered += 1
+        self.sim.trace.record(self.sim.now, "net.deliver", node=dst, src=src)
+        endpoint.on_message(src, dst, payload)
+
+    def _drop(self, src: int, dst: int, payload: Any, reason: str) -> None:
+        self.messages_dropped += 1
+        self.sim.trace.record(
+            self.sim.now, "net.drop", node=src, dst=dst, reason=reason,
+            kind=type(payload).__name__,
+        )
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def break_connection(self, a: int, b: int) -> None:
+        """Break the TCP-like connection between ``a`` and ``b``.
+
+        All in-flight reliable messages on the pair are dropped on
+        arrival, and each live endpoint's ``on_broken`` callback fires
+        with the peer id.  The next reliable send transparently opens a
+        fresh connection (new epoch).
+        """
+        key = _pair(a, b)
+        self._conn_epoch[key] = self._conn_epoch.get(key, 0) + 1
+        self._last_delivery.pop((a, b), None)
+        self._last_delivery.pop((b, a), None)
+        self.sim.trace.record(self.sim.now, "net.break", node=a, peer=b)
+        for me, peer in ((a, b), (b, a)):
+            endpoint = self._endpoints.get(me)
+            if endpoint is not None and endpoint.on_broken is not None and self.liveness.is_up(me):
+                endpoint.on_broken(peer)
+
+    def connection_epoch(self, a: int, b: int) -> int:
+        """How many times the (a, b) connection has been broken."""
+        return self._conn_epoch.get(_pair(a, b), 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(endpoints={len(self._endpoints)}, sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered}, dropped={self.messages_dropped})"
+        )
+
+
+__all__ = ["Network", "TransportError", "DEFAULT_MESSAGE_BYTES", "RETRANSMIT_TIMEOUT"]

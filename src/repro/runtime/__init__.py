@@ -1,0 +1,36 @@
+"""The CrystalBall-enabled runtime (Figure 1).
+
+Checkpoint exchange, predictive model maintenance, consequence
+prediction, execution steering via event filters, and predictive
+resolution of exposed choices.
+"""
+
+from .checkpoints import (
+    CheckpointDeltaMsg,
+    CheckpointMsg,
+    ModelShareMsg,
+    ProbeMsg,
+    ProbeReplyMsg,
+    is_runtime_message,
+)
+from .controller import CrystalBallRuntime
+from .policy_cache import CachedResolver, PolicyCache, scenario_key
+from .resolver import PredictiveResolver, install_crystalball
+from .steering import EventFilter, SteeringModule
+
+__all__ = [
+    "CheckpointDeltaMsg",
+    "CheckpointMsg",
+    "ModelShareMsg",
+    "ProbeMsg",
+    "ProbeReplyMsg",
+    "is_runtime_message",
+    "CrystalBallRuntime",
+    "CachedResolver",
+    "PolicyCache",
+    "scenario_key",
+    "PredictiveResolver",
+    "install_crystalball",
+    "EventFilter",
+    "SteeringModule",
+]

@@ -1,0 +1,128 @@
+"""Checkpoint and measurement exchange messages.
+
+The CrystalBall controller "periodically collects a consistent set of
+checkpoints from each of the node's neighbors" (Section 2).  In this
+reproduction each runtime instance broadcasts epoch-stamped checkpoints
+of its service state to its neighborhood; receiving runtimes consume
+them (they never reach the application) and fold them into their state
+models.  Checkpoint and probe messages double as passive latency
+measurements via their ``sent_at`` stamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..statemachine import Message
+
+
+def deep_size(value: Any) -> int:
+    """Recursive wire-size estimate of a plain-data value in bytes."""
+    if isinstance(value, (str, bytes)):
+        return len(value) + 4
+    if isinstance(value, dict):
+        return 8 + sum(deep_size(k) + deep_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(deep_size(v) for v in value)
+    return 8
+
+
+@dataclass
+class CheckpointMsg(Message):
+    """One node's epoch-stamped service checkpoint.
+
+    ``timers`` lists the sender's pending timers as ``(name, delay,
+    payload)`` tuples — in Mace, timer state is part of a service's
+    checkpoint, and consequence prediction needs neighbors' timers to
+    see the actions they may take next.
+    """
+
+    sender: int
+    epoch: int
+    taken_at: float
+    sent_at: float
+    state: Dict[str, Any] = field(default_factory=dict)
+    timers: list = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        return 64 + deep_size(self.state) + deep_size(self.timers)
+
+
+@dataclass
+class CheckpointDeltaMsg(Message):
+    """Only the state fields that changed since ``base_epoch``.
+
+    Section 3.3.2: "the acceptable amount of communication overhead
+    limits the rate at which information can be exchanged" — delta
+    encoding lets checkpoints flow at a higher rate for the same
+    bandwidth.  A receiver that does not hold the sender's
+    ``base_epoch`` ignores the delta and resynchronizes at the next
+    full checkpoint.
+    """
+
+    sender: int
+    epoch: int
+    base_epoch: int
+    taken_at: float
+    sent_at: float
+    changed: Dict[str, Any] = field(default_factory=dict)
+    timers: list = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        return 72 + deep_size(self.changed) + deep_size(self.timers)
+
+
+@dataclass
+class ModelShareMsg(Message):
+    """A slice of a node's network model, shared iPlane-style.
+
+    "iPlane proposes to build an information plane which makes the
+    network measurements and predictions available to all applications"
+    (Section 3.3.1); runtimes periodically exchange their estimates so
+    each node's model covers pairs it never measured itself.  Entries
+    are ``(src, dst, latency, bandwidth, loss, updated_at, samples)``.
+    """
+
+    sender: int
+    entries: list = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        return 64 + 48 * max(1, len(self.entries))
+
+
+@dataclass
+class ProbeMsg(Message):
+    """Active network probe (RTT measurement request)."""
+
+    sender: int
+    sent_at: float
+
+
+@dataclass
+class ProbeReplyMsg(Message):
+    """Reply to a :class:`ProbeMsg`, echoing the original send time."""
+
+    sender: int
+    orig_sent_at: float
+
+
+RUNTIME_MESSAGE_TYPES = (
+    CheckpointMsg, CheckpointDeltaMsg, ModelShareMsg, ProbeMsg, ProbeReplyMsg,
+)
+
+
+def is_runtime_message(msg: Any) -> bool:
+    """Whether ``msg`` belongs to the runtime (never shown to services)."""
+    return isinstance(msg, RUNTIME_MESSAGE_TYPES)
+
+
+__all__ = [
+    "CheckpointMsg",
+    "CheckpointDeltaMsg",
+    "ModelShareMsg",
+    "ProbeMsg",
+    "ProbeReplyMsg",
+    "RUNTIME_MESSAGE_TYPES",
+    "is_runtime_message",
+]

@@ -1,0 +1,626 @@
+"""The CrystalBall runtime controller.
+
+One :class:`CrystalBallRuntime` instance interposes on each node
+(Figure 1): it periodically checkpoints the local service and gossips
+the checkpoint to the neighborhood, folds received checkpoints and
+latency measurements into the predictive model, periodically runs
+consequence prediction over the assembled snapshot, installs event
+filters to steer execution away from predicted violations, and resolves
+exposed choices by sandbox replay + lookahead scoring against the
+installed objective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..choice.choicepoint import ChoicePoint
+from ..choice.objectives import Objective
+from ..mc import (
+    ConsequencePredictor,
+    DeliverAction,
+    Explorer,
+    PredictionReport,
+    WorldState,
+    score_outcome,
+)
+from ..model import NetworkModel, StateModel
+from ..statemachine import ChoiceRequested, InboundInterposer, SandboxContext
+from ..statemachine.node import Node
+from ..statemachine.serialization import freeze
+from .checkpoints import (
+    CheckpointDeltaMsg,
+    CheckpointMsg,
+    ModelShareMsg,
+    ProbeMsg,
+    ProbeReplyMsg,
+)
+from .steering import EventFilter, SteeringModule
+
+
+class _ZeroObjective(Objective):
+    """Neutral objective: only safety matters."""
+
+    name = "zero"
+
+    def score(self, world: Any) -> float:
+        return 0.0
+
+
+class CrystalBallRuntime(InboundInterposer):
+    """Per-node CrystalBall controller, model, and steering."""
+
+    def __init__(
+        self,
+        node: Node,
+        service_factory: Callable[[int], Any],
+        neighbors_fn: Optional[Callable[[Node], Iterable[int]]] = None,
+        properties: Iterable[Any] = (),
+        objective: Optional[Objective] = None,
+        network_model: Optional[NetworkModel] = None,
+        checkpoint_period: float = 1.0,
+        prediction_period: float = 0.0,
+        chain_depth: int = 3,
+        budget: int = 1_500,
+        filter_ttl: float = 10.0,
+        steering_enabled: bool = True,
+        max_replay_fills: int = 32,
+        score_aggregate: str = "mean",
+        passive_measurement: bool = True,
+        prediction_mode: str = "chains",
+        sampling_walks: int = 16,
+        sampling_steps: int = 8,
+        broadcast_on_change: bool = False,
+        min_broadcast_interval: float = 0.05,
+        checkpoint_deltas: bool = False,
+        full_checkpoint_every: int = 5,
+        model_share_period: float = 0.0,
+        generic_node: Optional[object] = None,
+        max_snapshot_age: Optional[float] = None,
+        stale_fallback: Optional[object] = None,
+    ) -> None:
+        self.node = node
+        self.service_factory = service_factory
+        self.neighbors_fn = neighbors_fn
+        self.properties = list(properties)
+        self.objective = objective if objective is not None else _ZeroObjective()
+        self.network_model = network_model if network_model is not None else NetworkModel()
+        self.checkpoint_period = checkpoint_period
+        self.prediction_period = prediction_period
+        self.chain_depth = chain_depth
+        self.budget = budget
+        self.filter_ttl = filter_ttl
+        self.steering_enabled = steering_enabled
+        self.max_replay_fills = max_replay_fills
+        self.score_aggregate = score_aggregate
+        # Passive measurement: fold message timestamps into the network
+        # model (disable to freeze the model after bootstrap — the A4
+        # ablation of model freshness under changing conditions).
+        self.passive_measurement = passive_measurement
+        # Prediction backend for choice scoring: "chains" explores the
+        # causal consequences exhaustively (bounded); "sampling" runs
+        # random-walk simulations instead — "a simulator that runs a
+        # large number of simulations" (Section 3.3.2) — cheaper at
+        # deep horizons, noisier at shallow ones (ablation A3).
+        if prediction_mode not in ("chains", "sampling"):
+            raise ValueError(
+                f"prediction_mode must be 'chains' or 'sampling', got {prediction_mode!r}"
+            )
+        self.prediction_mode = prediction_mode
+        self.sampling_walks = sampling_walks
+        self.sampling_steps = sampling_steps
+        # Checkpoint-on-change (Figure 1's checkpoints accompanying
+        # outbound messages): broadcast immediately when local state
+        # moves, rate-limited to min_broadcast_interval.
+        self.broadcast_on_change = broadcast_on_change
+        self.min_broadcast_interval = min_broadcast_interval
+        # Delta encoding (Section 3.3.2's communication-overhead limit):
+        # send only changed fields against the previous broadcast, with
+        # a periodic full checkpoint as the resync anchor.
+        self.checkpoint_deltas = checkpoint_deltas
+        self.full_checkpoint_every = max(1, full_checkpoint_every)
+        self._last_broadcast_state: Optional[Dict[str, Any]] = None
+        self._last_broadcast_epoch = -1
+        self._deltas_since_full = 0
+        self.model_share_period = model_share_period
+        self.generic_node = generic_node
+        # Confidence gating (Section 3.3.2): when the snapshot is too
+        # stale to trust, fall back to a cheap resolver instead of
+        # predicting from fiction.
+        self.max_snapshot_age = max_snapshot_age
+        self.stale_fallback = stale_fallback
+        self._last_state_digest: Optional[str] = None
+        self._last_broadcast_at = float("-inf")
+
+        self.state_model = StateModel(node.node_id)
+        self.steering = SteeringModule()
+        self.epoch = 0
+        self.stats: Dict[str, int] = {
+            "checkpoints_sent": 0,
+            "checkpoints_received": 0,
+            "predictions": 0,
+            "states_explored": 0,
+            "filters_installed": 0,
+            "steered_messages": 0,
+            "choices_resolved": 0,
+            "change_broadcasts": 0,
+            "delta_checkpoints_sent": 0,
+            "full_checkpoints_sent": 0,
+            "checkpoint_bytes_sent": 0,
+            "deltas_ignored": 0,
+            "model_shares_sent": 0,
+            "model_entries_adopted": 0,
+            "choices_fallback": 0,
+        }
+
+        node.inbound_interposers.append(self)
+        node.crystalball = self
+        node.capture_dispatch = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Record the initial checkpoint and begin the periodic tasks."""
+        self._record_own_checkpoint()
+        if self.checkpoint_period > 0:
+            self.node.sim.schedule(
+                self.checkpoint_period, self._checkpoint_tick,
+                tag=f"cb.checkpoint:{self.node.node_id}",
+            )
+        if self.prediction_period > 0:
+            self.node.sim.schedule(
+                self.prediction_period, self._prediction_tick,
+                tag=f"cb.predict:{self.node.node_id}",
+            )
+        if self.model_share_period > 0:
+            self.node.sim.schedule(
+                self.model_share_period, self._model_share_tick,
+                tag=f"cb.modelshare:{self.node.node_id}",
+            )
+        if self.broadcast_on_change:
+            self._last_state_digest = self.node.service.state_digest()
+
+    def neighbors(self) -> List[int]:
+        """The neighborhood to exchange checkpoints with.
+
+        Order of preference: an explicit ``neighbors_fn``, the
+        service's own ``neighbors()`` method (protocol knowledge,
+        typically O(log n) in scalable systems), else every other node
+        in the topology (the paper's full-global-knowledge mode).
+        """
+        if self.neighbors_fn is not None:
+            return [p for p in self.neighbors_fn(self.node) if p != self.node.node_id]
+        service_neighbors = getattr(self.node.service, "neighbors", None)
+        if callable(service_neighbors):
+            return [p for p in service_neighbors() if p != self.node.node_id]
+        return [p for p in self.node.network.topology.node_ids if p != self.node.node_id]
+
+    # ------------------------------------------------------------------
+    # Interposition (Figure 1: runtime sits between network and service)
+    # ------------------------------------------------------------------
+
+    def on_inbound(self, node: Node, src: int, msg: Any) -> bool:
+        now = node.sim.now
+        if isinstance(msg, CheckpointMsg):
+            self.stats["checkpoints_received"] += 1
+            if self.passive_measurement:
+                self.network_model.observe_latency(
+                    src, node.node_id, max(0.0, now - msg.sent_at), now,
+                )
+            self.state_model.update(
+                msg.sender, msg.epoch, msg.taken_at, msg.state, timers=msg.timers,
+            )
+            return False
+        if isinstance(msg, CheckpointDeltaMsg):
+            self.stats["checkpoints_received"] += 1
+            if self.passive_measurement:
+                self.network_model.observe_latency(
+                    src, node.node_id, max(0.0, now - msg.sent_at), now,
+                )
+            base = self.state_model.get(msg.sender)
+            if base is None or base.epoch != msg.base_epoch:
+                # We lack the delta's base: skip; the next full
+                # checkpoint resynchronizes us.
+                self.stats["deltas_ignored"] += 1
+                return False
+            patched = dict(base.state)
+            patched.update(msg.changed)
+            self.state_model.update(
+                msg.sender, msg.epoch, msg.taken_at, patched, timers=msg.timers,
+            )
+            return False
+        if isinstance(msg, ModelShareMsg):
+            adopted = self.network_model.import_entries(msg.entries)
+            self.stats["model_entries_adopted"] += adopted
+            return False
+        if isinstance(msg, ProbeMsg):
+            node.network.send(
+                node.node_id, src,
+                ProbeReplyMsg(sender=node.node_id, orig_sent_at=msg.sent_at),
+                size_bytes=64,
+            )
+            return False
+        if isinstance(msg, ProbeReplyMsg):
+            if self.passive_measurement:
+                self.network_model.observe_rtt(
+                    node.node_id, src, max(0.0, now - msg.orig_sent_at), now,
+                )
+            return False
+        matched = self.steering.matches(src, msg, now)
+        if matched is not None:
+            self.stats["steered_messages"] += 1
+            node.sim.trace.record(
+                now, "runtime.steer", node=node.node_id, src=src,
+                msg=type(msg).__name__, reason=matched.reason,
+            )
+            node.network.break_connection(node.node_id, src)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Periodic tasks
+    # ------------------------------------------------------------------
+
+    def _own_timers(self) -> list:
+        now = self.node.sim.now
+        return [
+            (name, max(0.0, deadline - now), payload)
+            for name, deadline, payload in self.node.pending_timers()
+        ]
+
+    def _record_own_checkpoint(self) -> None:
+        now = self.node.sim.now
+        self.state_model.update(
+            self.node.node_id, self.epoch, now, self.node.service.checkpoint(),
+            timers=self._own_timers(),
+        )
+
+    def _checkpoint_tick(self) -> None:
+        if self.node.is_up:
+            self.broadcast_checkpoint()
+        self.node.sim.schedule(
+            self.checkpoint_period, self._checkpoint_tick,
+            tag=f"cb.checkpoint:{self.node.node_id}",
+        )
+
+    def broadcast_checkpoint(self) -> None:
+        """Take a checkpoint and send it (full or delta) to every neighbor."""
+        now = self.node.sim.now
+        self.epoch += 1
+        self._record_own_checkpoint()
+        state = self.node.service.checkpoint()
+        timers = self._own_timers()
+        message = self._make_checkpoint_message(state, timers, now)
+        for peer in self.neighbors():
+            self.node.network.send(
+                self.node.node_id, peer, message, size_bytes=message.wire_size(),
+            )
+            self.stats["checkpoints_sent"] += 1
+            self.stats["checkpoint_bytes_sent"] += message.wire_size()
+
+    def _make_checkpoint_message(self, state, timers, now):
+        full = CheckpointMsg(
+            sender=self.node.node_id, epoch=self.epoch,
+            taken_at=now, sent_at=now, state=state, timers=timers,
+        )
+        if not self.checkpoint_deltas:
+            return full
+        send_full = (
+            self._last_broadcast_state is None
+            or self._deltas_since_full >= self.full_checkpoint_every
+        )
+        if send_full:
+            self._last_broadcast_state = state
+            self._last_broadcast_epoch = self.epoch
+            self._deltas_since_full = 0
+            self.stats["full_checkpoints_sent"] += 1
+            return full
+        changed = {
+            key: value for key, value in state.items()
+            if freeze(value) != freeze(self._last_broadcast_state.get(key))
+        }
+        delta = CheckpointDeltaMsg(
+            sender=self.node.node_id, epoch=self.epoch,
+            base_epoch=self._last_broadcast_epoch,
+            taken_at=now, sent_at=now, changed=changed, timers=timers,
+        )
+        self._last_broadcast_state = state
+        self._last_broadcast_epoch = self.epoch
+        self._deltas_since_full += 1
+        self.stats["delta_checkpoints_sent"] += 1
+        return delta
+
+    def after_dispatch(self, node: Node) -> None:
+        """Broadcast a fresh checkpoint when local state changed.
+
+        Called by the node after every dispatch (InboundInterposer
+        hook).  This closes most of the staleness window that periodic
+        exchange leaves open — the ablation bench ``bench_a1_staleness``
+        measures the difference.
+        """
+        if not self.broadcast_on_change or not node.is_up:
+            return
+        now = node.sim.now
+        if now - self._last_broadcast_at < self.min_broadcast_interval:
+            return
+        digest_now = node.service.state_digest()
+        if digest_now == self._last_state_digest:
+            return
+        self._last_state_digest = digest_now
+        self._last_broadcast_at = now
+        self.stats["change_broadcasts"] += 1
+        self.broadcast_checkpoint()
+
+    def _model_share_tick(self) -> None:
+        if self.node.is_up:
+            self.share_model()
+        self.node.sim.schedule(
+            self.model_share_period, self._model_share_tick,
+            tag=f"cb.modelshare:{self.node.node_id}",
+        )
+
+    def share_model(self) -> None:
+        """Send this node's network-model estimates to every neighbor."""
+        entries = self.network_model.export_entries()
+        if not entries:
+            return
+        for peer in self.neighbors():
+            msg = ModelShareMsg(sender=self.node.node_id, entries=entries)
+            self.node.network.send(self.node.node_id, peer, msg, size_bytes=msg.wire_size())
+            self.stats["model_shares_sent"] += 1
+
+    def probe(self, peer: int) -> None:
+        """Send an active RTT probe to ``peer``."""
+        now = self.node.sim.now
+        self.node.network.send(
+            self.node.node_id, peer, ProbeMsg(sender=self.node.node_id, sent_at=now),
+            size_bytes=64,
+        )
+
+    def _prediction_tick(self) -> None:
+        if self.node.is_up:
+            self.run_prediction()
+        self.node.sim.schedule(
+            self.prediction_period, self._prediction_tick,
+            tag=f"cb.predict:{self.node.node_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Consequence prediction + steering
+    # ------------------------------------------------------------------
+
+    def current_world(self) -> WorldState:
+        """Assemble the snapshot world from the state model.
+
+        The local state is always fresh; neighbor states are the latest
+        collected checkpoints.  Nodes the local failure detector (here:
+        the liveness registry, a simulation convenience) believes down
+        are marked down in the world.
+        """
+        self._record_own_checkpoint()
+        states = self.state_model.latest_states()
+        down = {nid for nid in states if not self.node.network.liveness.is_up(nid)}
+        # Every known node's pending timers: our own are live; neighbors'
+        # come from their collected checkpoints (possibly stale, like the
+        # state itself — prediction is best-effort by design).
+        timers = []
+        for nid in states:
+            if nid in down:
+                continue
+            for name, delay, payload in self.state_model.timers_of(nid):
+                timers.append(_pending_timer(nid, name, delay, payload))
+        # latest_states() returns fresh copies, so the world adopts them.
+        return WorldState(
+            node_states=states, timers=timers, down=down, time=self.node.sim.now,
+            copy_states=False,
+        )
+
+    def make_explorer(self) -> Explorer:
+        """An explorer configured with this runtime's model and properties."""
+        return Explorer(
+            self.service_factory,
+            properties=self.properties,
+            network_model=self.network_model,
+            generic_node=self.generic_node,
+            rng_seed=self.node.sim.rng.root_seed,
+        )
+
+    def run_prediction(self) -> PredictionReport:
+        """One consequence-prediction pass over the current snapshot."""
+        predictor = ConsequencePredictor(
+            self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
+        )
+        world = self.current_world()
+        report = predictor.predict(world)
+        self.stats["predictions"] += 1
+        self.stats["states_explored"] += report.total_states
+        if self.steering_enabled:
+            self._apply_steering(report, world)
+        return report
+
+    def _apply_steering(self, report: PredictionReport, world: WorldState) -> None:
+        unsafe = [o for o in report.outcomes if not o.is_safe]
+        if not unsafe:
+            return
+        # CrystalBall "checks whether it is safe to steer execution away
+        # from the possible inconsistency": our steering actions (drop
+        # message + break connection) only *remove* behaviours, so
+        # steering is safe exactly when the present state already
+        # satisfies every property — then holding position cannot
+        # introduce a new inconsistency.
+        from ..mc.properties import violated_properties
+
+        if violated_properties(world, self.properties):
+            self.node.sim.trace.record(
+                self.node.sim.now, "runtime.steer_impossible", node=self.node.node_id,
+                unsafe=len(unsafe),
+            )
+            return
+        now = self.node.sim.now
+        for outcome in unsafe:
+            for violation in outcome.violations:
+                # We can only prevent events at this node: filter the
+                # last inbound delivery to us on the violating path.
+                local_deliveries = [
+                    a for a in violation.path
+                    if isinstance(a, DeliverAction) and a.dst == self.node.node_id
+                ]
+                if not local_deliveries:
+                    continue
+                action = local_deliveries[-1]
+                self.steering.install(
+                    EventFilter(
+                        src=action.src,
+                        msg_key=freeze(action.msg),
+                        msg_type=None,
+                        installed_at=now,
+                        expires_at=now + self.filter_ttl,
+                        reason=violation.property_name,
+                    )
+                )
+                self.stats["filters_installed"] += 1
+                self.node.sim.trace.record(
+                    now, "runtime.filter_installed", node=self.node.node_id,
+                    src=action.src, msg=type(action.msg).__name__,
+                    reason=violation.property_name,
+                )
+
+    # ------------------------------------------------------------------
+    # Predictive choice resolution
+    # ------------------------------------------------------------------
+
+    def resolve_choice(self, point: ChoicePoint, node: Node) -> Any:
+        """Pick the candidate whose predicted future scores best.
+
+        Replays the currently-executing dispatch in a sandbox from its
+        pre-dispatch checkpoint, substituting each candidate at the
+        pending choice, then runs consequence prediction on the
+        resulting world and scores it with the installed objective.
+        """
+        dispatch = node.current_dispatch
+        if dispatch is None:
+            # No dispatch to replay (e.g. choice made in on_init):
+            # score candidates on the immediate world only.
+            return self._resolve_without_replay(point)
+        if self._snapshot_too_stale():
+            # Confidence gating: the model is too old to predict from;
+            # degrade to the cheap fallback instead of guessing.
+            self.stats["choices_fallback"] += 1
+            if self.stale_fallback is not None:
+                return self.stale_fallback.resolve(point, node)
+            return point.candidates[0]
+        best = point.candidates[0]
+        best_score = float("-inf")
+        for candidate in point.candidates:
+            score = self._score_candidate(dispatch, candidate)
+            node.sim.trace.record(
+                node.sim.now, "runtime.choice_score", node=node.node_id,
+                label=point.label, score=round(score, 6),
+            )
+            if score > best_score:
+                best, best_score = candidate, score
+        self.stats["choices_resolved"] += 1
+        return best
+
+    def _snapshot_too_stale(self) -> bool:
+        if self.max_snapshot_age is None:
+            return False
+        now = self.node.sim.now
+        ages = [
+            self.state_model.age(nid, now)
+            for nid in self.state_model.known_nodes()
+            if nid != self.node.node_id
+            and self.node.network.liveness.is_up(nid)
+        ]
+        if not ages:
+            return True  # nothing collected yet: no basis to predict
+        return max(ages) > self.max_snapshot_age
+
+    def _resolve_without_replay(self, point: ChoicePoint) -> Any:
+        world = self.current_world()
+        base = self.objective.score(world)
+        del base  # identical for every candidate; nothing to compare
+        return point.candidates[0]
+
+    def _score_candidate(self, dispatch, candidate: Any) -> float:
+        effects, checkpoint = self._replay(dispatch, candidate)
+        if effects is None:
+            return float("-inf")
+        states = self.state_model.latest_states()
+        states[self.node.node_id] = checkpoint
+        down = {nid for nid in states if not self.node.network.liveness.is_up(nid)}
+        from ..mc.world import InFlightMessage, PendingTimer
+
+        world = WorldState(
+            node_states=states,
+            inflight=[
+                InFlightMessage(self.node.node_id, dst, msg) for dst, msg in effects.sent
+            ],
+            timers=[
+                PendingTimer(self.node.node_id, name, payload, delay)
+                for name, delay, payload in effects.timers_set
+            ],
+            down=down,
+            time=self.node.sim.now,
+            copy_states=False,
+        )
+        immediate = self.objective.score(world)
+        if self.prediction_mode == "sampling":
+            from ..mc.randomwalk import RandomWalkSimulator
+
+            simulator = RandomWalkSimulator(
+                self.make_explorer(), seed=self.node.sim.rng.root_seed,
+            )
+            report = simulator.sample(
+                world, walks=self.sampling_walks, max_steps=self.sampling_steps,
+                metric=self.objective.score,
+            )
+            self.stats["states_explored"] += sum(w.steps for w in report.walks)
+            future = report.mean_metric if report.mean_metric is not None else 0.0
+            return immediate + future
+        predictor = ConsequencePredictor(
+            self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
+        )
+        report = predictor.predict(world)
+        self.stats["states_explored"] += report.total_states
+        if not report.outcomes:
+            return immediate
+        future = sum(
+            score_outcome(outcome, self.objective, aggregate=self.score_aggregate)
+            for outcome in report.outcomes
+        ) / len(report.outcomes)
+        return immediate + future
+
+    def _replay(self, dispatch, candidate: Any):
+        """Re-run the captured dispatch with ``candidate`` at the pending
+        choice; later unscripted choices are filled first-candidate."""
+        script = list(dispatch.choices) + [candidate]
+        for _ in range(self.max_replay_fills):
+            service = self.service_factory(self.node.node_id)
+            service.restore(dispatch.checkpoint)
+            ctx = SandboxContext(
+                self.node.node_id, now=self.node.sim.now,
+                choice_script=list(script), rng_seed=self.node.sim.rng.root_seed,
+            )
+            service.ctx = ctx
+            try:
+                if dispatch.kind == "deliver":
+                    service.deliver(dispatch.src, dispatch.msg)
+                else:
+                    service.fire_timer(dispatch.timer_name, dispatch.payload)
+            except ChoiceRequested as request:
+                script = list(request.consumed) + [request.point.candidates[0]]
+                continue
+            return ctx.effects, service.checkpoint()
+        return None, None
+
+
+def _pending_timer(node_id: int, name: str, delay: float, payload: Any):
+    from ..mc.world import PendingTimer
+
+    return PendingTimer(node=node_id, name=name, payload=payload, delay=max(0.0, delay))
+
+
+__all__ = ["CrystalBallRuntime"]

@@ -1,0 +1,114 @@
+"""Precomputed choice policies: the fast path off the critical path.
+
+Section 3.4: "A useful design decision is removing complex mechanisms
+for making the choices from the critical path, using choices based on
+previous similar scenarios as a fast alternative, and updating the
+choices as more information becomes available."
+
+:class:`PolicyCache` memoizes resolved choices keyed by *scenario* —
+the choice label, the deciding service's state digest, and the
+candidate set — with an optional TTL so entries refresh as the system
+evolves.  :class:`CachedResolver` wraps any resolver (typically the
+expensive predictive one) with the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Tuple
+
+from ..choice.choicepoint import ChoicePoint, ChoiceResolver
+from ..statemachine.serialization import freeze
+
+KeyFn = Callable[[ChoicePoint, Optional[object]], Tuple]
+
+
+def scenario_key(point: ChoicePoint, node: Optional[object]) -> Tuple:
+    """Default scenario identity: (label, local state digest, candidates).
+
+    Two resolutions share a cache entry exactly when the same decision
+    site fires with the same local state and the same options — the
+    "previous similar scenario" of the paper, made precise.
+    """
+    state_digest = node.service.state_digest() if node is not None else ""
+    return (point.label, state_digest, freeze(list(point.candidates)))
+
+
+class PolicyCache:
+    """Bounded LRU of resolved choices with optional TTL."""
+
+    def __init__(self, ttl: Optional[float] = None, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries!r}")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Tuple[Any, float]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple, now: float) -> Optional[Tuple[bool, Any]]:
+        """Lookup: returns ``(True, value)`` on a live hit, else ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, stored_at = entry
+        if self.ttl is not None and now - stored_at > self.ttl:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return (True, value)
+
+    def put(self, key: Tuple, value: Any, now: float) -> None:
+        """Store a resolved value, evicting the LRU entry if full."""
+        self._entries[key] = (value, now)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop everything (e.g. after a topology change)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedResolver(ChoiceResolver):
+    """Wraps a (slow) resolver with a :class:`PolicyCache` fast path."""
+
+    name = "cached"
+
+    def __init__(
+        self,
+        inner: ChoiceResolver,
+        cache: Optional[PolicyCache] = None,
+        key_fn: KeyFn = scenario_key,
+    ) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else PolicyCache(ttl=5.0)
+        self.key_fn = key_fn
+
+    def resolve(self, point: ChoicePoint, node: Optional[object] = None) -> Any:
+        now = node.sim.now if node is not None else 0.0
+        key = self.key_fn(point, node)
+        hit = self.cache.get(key, now)
+        if hit is not None:
+            value = hit[1]
+            if value in point.candidates:
+                return value
+            # The cached value is no longer an option; fall through.
+        value = self.inner.resolve(point, node)
+        self.cache.put(key, value, now)
+        return value
+
+
+__all__ = ["PolicyCache", "CachedResolver", "scenario_key"]

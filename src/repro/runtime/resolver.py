@@ -1,0 +1,61 @@
+"""The predictive (Choice-CrystalBall) resolver and installation helper.
+
+:class:`PredictiveResolver` routes exposed choices to the node's
+CrystalBall runtime, which scores each candidate by sandbox replay +
+consequence prediction against the installed objective.  Nodes without
+a runtime (or choices made outside a dispatch) fall back to a plain
+resolver so services degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..choice.choicepoint import ChoicePoint, ChoiceResolver
+from ..choice.resolvers import FirstResolver
+from ..statemachine.node import Cluster, Node
+from .controller import CrystalBallRuntime
+
+
+class PredictiveResolver(ChoiceResolver):
+    """Resolve choices with CrystalBall lookahead (fallback otherwise)."""
+
+    name = "crystalball"
+
+    def __init__(self, fallback: Optional[ChoiceResolver] = None) -> None:
+        self.fallback = fallback if fallback is not None else FirstResolver()
+
+    def resolve(self, point: ChoicePoint, node: Optional[Node] = None) -> Any:
+        runtime = getattr(node, "crystalball", None) if node is not None else None
+        if runtime is None or node.current_dispatch is None:
+            return self.fallback.resolve(point, node)
+        return runtime.resolve_choice(point, node)
+
+
+def install_crystalball(
+    cluster: Cluster,
+    service_factory: Callable[[int], Any],
+    set_resolver: bool = True,
+    start: bool = True,
+    **runtime_kwargs: Any,
+) -> List[CrystalBallRuntime]:
+    """Install a CrystalBall runtime on every node of a cluster.
+
+    ``service_factory`` must build services identical in configuration
+    to the live ones (it is used to materialize checkpoints during
+    exploration).  With ``set_resolver`` each node's choice resolver
+    becomes a :class:`PredictiveResolver`.  Extra keyword arguments are
+    passed to every :class:`CrystalBallRuntime`.
+    """
+    runtimes = []
+    for node in cluster.nodes:
+        runtime = CrystalBallRuntime(node, service_factory, **runtime_kwargs)
+        if set_resolver:
+            node.choice_resolver = PredictiveResolver()
+        if start:
+            runtime.start()
+        runtimes.append(runtime)
+    return runtimes
+
+
+__all__ = ["PredictiveResolver", "install_crystalball"]

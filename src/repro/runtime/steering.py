@@ -1,0 +1,85 @@
+"""Execution steering: event filters.
+
+"If consequence prediction does not find any new inconsistencies due to
+execution steering, the controller installs an event filter into the
+runtime.  In case of messages, the event filter works by dropping the
+offending message and breaking the connection with the message sender"
+(Section 2).  :class:`SteeringModule` holds the installed filters; the
+runtime consults it on every inbound message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..statemachine.serialization import freeze
+
+
+@dataclass
+class EventFilter:
+    """Drop inbound messages matching ``(src, frozen message)``.
+
+    ``match_any_payload`` filters *all* messages of ``msg_type`` from
+    ``src`` (a coarser filter used when the predicted-bad message
+    carries volatile fields).
+    """
+
+    src: int
+    msg_key: Optional[Tuple]
+    msg_type: Optional[str]
+    installed_at: float
+    expires_at: float
+    reason: str = ""
+
+    def matches(self, src: int, msg: Any, now: float) -> bool:
+        """Whether this live filter matches an inbound message."""
+        if now >= self.expires_at or src != self.src:
+            return False
+        if self.msg_key is not None:
+            return freeze(msg) == self.msg_key
+        return type(msg).__name__ == self.msg_type
+
+
+class SteeringModule:
+    """Holds and evaluates the node's installed event filters."""
+
+    def __init__(self) -> None:
+        self._filters: List[EventFilter] = []
+        self.filtered_count = 0
+
+    def install(self, event_filter: EventFilter) -> None:
+        """Install one filter (duplicates by (src, key) are refreshed)."""
+        for existing in self._filters:
+            if (existing.src, existing.msg_key, existing.msg_type) == (
+                event_filter.src, event_filter.msg_key, event_filter.msg_type,
+            ):
+                existing.expires_at = max(existing.expires_at, event_filter.expires_at)
+                existing.reason = event_filter.reason
+                return
+        self._filters.append(event_filter)
+
+    def matches(self, src: int, msg: Any, now: float) -> Optional[EventFilter]:
+        """The first live filter matching this inbound message, if any."""
+        self.prune(now)
+        for event_filter in self._filters:
+            if event_filter.matches(src, msg, now):
+                self.filtered_count += 1
+                return event_filter
+        return None
+
+    def prune(self, now: float) -> None:
+        """Drop expired filters."""
+        self._filters = [f for f in self._filters if f.expires_at > now]
+
+    @property
+    def active_filters(self) -> List[EventFilter]:
+        """Currently-installed filters (possibly including expired ones
+        not yet pruned)."""
+        return list(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+
+__all__ = ["EventFilter", "SteeringModule"]

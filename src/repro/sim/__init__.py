@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package replaces the paper's live ModelNet cluster: a virtual
+clock, a cancellable event queue, named seeded random streams, a
+structured trace log, and node failure injection.  See DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from .clock import ClockError, VirtualClock
+from .events import EventHandle, EventQueue
+from .failures import LivenessRegistry
+from .rng import RngRegistry, derive_seed
+from .scheduler import SimulationError, Simulator
+from .trace import TraceLog, TraceRecord
+
+__all__ = [
+    "ClockError",
+    "VirtualClock",
+    "EventHandle",
+    "EventQueue",
+    "LivenessRegistry",
+    "RngRegistry",
+    "derive_seed",
+    "SimulationError",
+    "Simulator",
+    "TraceLog",
+    "TraceRecord",
+]

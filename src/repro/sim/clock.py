@@ -1,0 +1,49 @@
+"""Virtual time for the discrete-event simulator.
+
+All components in the reproduction measure time against a
+:class:`VirtualClock` rather than the wall clock, which makes every
+experiment a deterministic function of its configuration and seed.
+Time is a float number of simulated seconds.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on attempts to move a :class:`VirtualClock` backwards."""
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock.
+
+    The scheduler owns the clock and advances it to the timestamp of each
+    event it dispatches.  Everyone else only reads :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`ClockError` if ``time`` is in the past; advancing to
+        the current time is a no-op and is allowed because simultaneous
+        events share a timestamp.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now!r} to {time!r}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now!r})"

@@ -1,0 +1,105 @@
+"""Event queue for the discrete-event simulator.
+
+Events are callbacks scheduled at a simulated timestamp.  Ordering is
+total and deterministic: ties on time are broken by insertion sequence
+number, so two runs with the same schedule produce identical event
+orders.  Cancellation is O(1) via tombstoning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.push`.
+
+    Holds enough information to cancel the event and to introspect it in
+    traces; the callback itself lives in the queue entry.
+    """
+
+    time: float
+    seq: int
+    tag: str
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A cancellable priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._live = 0
+        self._entries: dict[tuple[float, int], _Entry] = {}
+
+    def push(self, time: float, callback: Callable[[], None], tag: str = "") -> EventHandle:
+        """Schedule ``callback`` at simulated ``time`` and return a handle."""
+        seq = next(self._seq)
+        entry = _Entry(time=float(time), seq=seq, callback=callback, tag=tag)
+        heapq.heappush(self._heap, entry)
+        self._entries[(entry.time, seq)] = entry
+        self._live += 1
+        return EventHandle(time=entry.time, seq=seq, tag=tag)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event.
+
+        Returns ``True`` if the event was live and is now cancelled,
+        ``False`` if it already fired or was already cancelled.
+        """
+        entry = self._entries.get((handle.time, handle.seq))
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        self._live -= 1
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> tuple[float, str, Callable[[], None]]:
+        """Remove and return the next live event as ``(time, tag, callback)``.
+
+        Raises :class:`IndexError` when the queue holds no live events.
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        entry = heapq.heappop(self._heap)
+        del self._entries[(entry.time, entry.seq)]
+        self._live -= 1
+        return entry.time, entry.tag, entry.callback
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            entry = heapq.heappop(self._heap)
+            del self._entries[(entry.time, entry.seq)]
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __repr__(self) -> str:
+        return f"EventQueue(live={self._live})"
+
+
+__all__ = ["EventHandle", "EventQueue"]

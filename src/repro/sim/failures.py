@@ -1,0 +1,74 @@
+"""Node liveness registry and failure injection.
+
+The case study in the paper fails an entire subtree of the overlay
+(about half the nodes) and lets it rejoin.  :class:`LivenessRegistry`
+is the single source of truth for which nodes are up: the network
+consults it before delivering, and services consult it before acting.
+Observers (e.g. a service's failure detector) can subscribe to
+transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+Observer = Callable[[int, bool], None]
+
+
+class LivenessRegistry:
+    """Tracks which node ids are currently up.
+
+    Nodes are up by default; :meth:`fail` and :meth:`recover` flip the
+    state and notify observers with ``(node_id, is_up)``.
+    """
+
+    def __init__(self) -> None:
+        self._down: Set[int] = set()
+        self._observers: List[Observer] = []
+
+    def is_up(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently up."""
+        return node_id not in self._down
+
+    @property
+    def down_nodes(self) -> Set[int]:
+        """A copy of the set of currently-failed node ids."""
+        return set(self._down)
+
+    def fail(self, node_id: int) -> None:
+        """Mark ``node_id`` as crashed; no-op if already down."""
+        if node_id in self._down:
+            return
+        self._down.add(node_id)
+        self._notify(node_id, False)
+
+    def recover(self, node_id: int) -> None:
+        """Mark ``node_id`` as up again; no-op if already up."""
+        if node_id not in self._down:
+            return
+        self._down.discard(node_id)
+        self._notify(node_id, True)
+
+    def fail_many(self, node_ids) -> None:
+        """Fail each id in ``node_ids`` (ordered, for deterministic traces)."""
+        for node_id in node_ids:
+            self.fail(node_id)
+
+    def recover_many(self, node_ids) -> None:
+        """Recover each id in ``node_ids``."""
+        for node_id in node_ids:
+            self.recover(node_id)
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register a callback invoked as ``observer(node_id, is_up)``."""
+        self._observers.append(observer)
+
+    def _notify(self, node_id: int, is_up: bool) -> None:
+        for observer in list(self._observers):
+            observer(node_id, is_up)
+
+    def __repr__(self) -> str:
+        return f"LivenessRegistry(down={sorted(self._down)})"
+
+
+__all__ = ["LivenessRegistry"]

@@ -1,0 +1,129 @@
+"""Structured trace log.
+
+Every interesting action in a simulation (message send/deliver/drop,
+timer fire, checkpoint exchange, steering decision, choice resolution)
+is appended to a :class:`TraceLog` as a :class:`TraceRecord`.  Tests and
+benchmarks assert against the trace instead of scraping stdout.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced action.
+
+    ``category`` is a dotted string such as ``"net.deliver"`` or
+    ``"runtime.steer"``; ``node`` is the acting node id (or ``None`` for
+    global events); ``data`` carries event-specific fields.
+    """
+
+    time: float
+    category: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """An append-only in-memory log of :class:`TraceRecord` objects."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._counts: Counter = Counter()
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **data: Any,
+    ) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time=time, category=category, node=node, data=data))
+        self._counts[category] += 1
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        since: float = 0.0,
+    ) -> List[TraceRecord]:
+        """Return records matching the filters, in chronological order.
+
+        ``category`` matches exactly or as a dotted prefix: selecting
+        ``"net"`` returns ``"net.deliver"`` and ``"net.drop"`` records.
+        """
+        out = []
+        for rec in self._records:
+            if rec.time < since:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if category is not None:
+                if rec.category != category and not rec.category.startswith(category + "."):
+                    continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str) -> int:
+        """Number of records with exactly this category."""
+        return self._counts[category]
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+        self._counts.clear()
+
+    def dump_jsonl(self, path: str, category: Optional[str] = None) -> int:
+        """Write records (optionally filtered by category prefix) as
+        JSON lines; returns the number of records written.
+
+        The format is one object per line with ``time``, ``category``,
+        ``node``, and the record's data fields inlined — loadable by
+        any log tooling.
+        """
+        import json
+
+        records = self.select(category=category) if category else self._records
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                row = {"time": record.time, "category": record.category,
+                       "node": record.node}
+                for key, value in record.data.items():
+                    row.setdefault(key, _jsonable(value))
+                handle.write(json.dumps(row) + "\n")
+                written += 1
+        return written
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"TraceLog(records={len(self._records)}, enabled={self.enabled})"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe conversion for trace data fields."""
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+__all__ = ["TraceRecord", "TraceLog"]

@@ -1,0 +1,102 @@
+"""Handler registration for state-machine services.
+
+Two decorator families:
+
+* :func:`msg_handler` marks a method as handling a message class.  A
+  service may register *several* handlers for the same message type —
+  the non-deterministic finite automaton (NFA) form from Section 3.1 of
+  the paper ("the programmer can write several, simpler handlers for
+  the same type of message... It is then the runtime's task to resolve
+  the non-determinism").  Optional ``guard`` predicates restrict when a
+  handler is applicable.
+* :func:`timer_handler` marks a method as handling a named timer.
+
+``collect_handlers`` builds the per-class registries; it is invoked by
+``Service.__init_subclass__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+Guard = Callable[[object, int, object], bool]
+
+
+@dataclass(frozen=True)
+class HandlerSpec:
+    """A registered message handler.
+
+    ``name`` identifies the handler in traces and choice labels;
+    ``guard`` (if any) is evaluated as ``guard(service, src, msg)``
+    before the handler is considered applicable.
+    """
+
+    name: str
+    msg_cls: type
+    fn: Callable
+    guard: Optional[Guard] = None
+
+    def applicable(self, service: object, src: int, msg: object) -> bool:
+        """Whether this handler may process ``msg`` from ``src`` now."""
+        if self.guard is None:
+            return True
+        return bool(self.guard(service, src, msg))
+
+
+def msg_handler(msg_cls: type, guard: Optional[Guard] = None) -> Callable:
+    """Decorator registering a method as a handler for ``msg_cls``."""
+
+    def decorate(fn: Callable) -> Callable:
+        registrations = getattr(fn, "_msg_registrations", [])
+        registrations.append((msg_cls, guard))
+        fn._msg_registrations = registrations
+        return fn
+
+    return decorate
+
+
+def timer_handler(timer_name: str) -> Callable:
+    """Decorator registering a method as the handler for a named timer."""
+
+    def decorate(fn: Callable) -> Callable:
+        names = getattr(fn, "_timer_registrations", [])
+        names.append(timer_name)
+        fn._timer_registrations = names
+        return fn
+
+    return decorate
+
+
+def collect_handlers(
+    cls: type,
+) -> Tuple[Dict[type, List[HandlerSpec]], Dict[str, Callable]]:
+    """Walk a service class (and bases) building handler registries.
+
+    Returns ``(msg_handlers, timer_handlers)`` where ``msg_handlers``
+    maps message class to the ordered list of specs (definition order,
+    base classes first) and ``timer_handlers`` maps timer name to the
+    bound-method function.
+    """
+    msg_handlers: Dict[type, List[HandlerSpec]] = {}
+    timer_handlers: Dict[str, Callable] = {}
+    seen_methods = set()
+    for klass in reversed(cls.__mro__):
+        for attr_name, attr in vars(klass).items():
+            if attr_name in seen_methods:
+                continue
+            registrations = getattr(attr, "_msg_registrations", None)
+            if registrations:
+                seen_methods.add(attr_name)
+                for msg_cls, guard in registrations:
+                    spec = HandlerSpec(name=attr_name, msg_cls=msg_cls, fn=attr, guard=guard)
+                    msg_handlers.setdefault(msg_cls, []).append(spec)
+            timer_names = getattr(attr, "_timer_registrations", None)
+            if timer_names:
+                seen_methods.add(attr_name)
+                for timer_name in timer_names:
+                    timer_handlers[timer_name] = attr
+    return msg_handlers, timer_handlers
+
+
+__all__ = ["HandlerSpec", "msg_handler", "timer_handler", "collect_handlers", "Guard"]

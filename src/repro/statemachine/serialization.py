@@ -1,0 +1,108 @@
+"""Checkpoint serialization and canonical state freezing.
+
+Services declare plain-data ``state_fields``; checkpoints are deep
+copies of those fields.  The model checker needs to recognize states it
+has already visited, so :func:`freeze` converts any plain-data value to
+a canonical hashable form and :func:`digest` produces a stable hash.
+
+Plain data means: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, and ``dict``/``list``/``tuple``/``set``/``frozenset`` of
+plain data, plus dataclass instances whose fields are plain data
+(covers wire messages).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, Hashable
+
+_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+class SerializationError(TypeError):
+    """Raised when a value is not plain data."""
+
+
+def snapshot_value(value: Any) -> Any:
+    """Deep-copy a plain-data value for a checkpoint.
+
+    Dataclass instances are copied by reconstructing them, so mutable
+    fields inside a message are not shared between a checkpoint and the
+    live state.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {snapshot_value(k): snapshot_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [snapshot_value(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(snapshot_value(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        copied = {snapshot_value(v) for v in value}
+        return frozenset(copied) if isinstance(value, frozenset) else copied
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: snapshot_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return type(value)(**fields)
+    raise SerializationError(
+        f"value of type {type(value).__name__} is not plain data: {value!r}"
+    )
+
+
+def freeze(value: Any) -> Hashable:
+    """Convert a plain-data value to a canonical hashable form.
+
+    The encoding is injective per type (containers are tagged) so that
+    e.g. ``[1, 2]`` and ``(1, 2)`` freeze differently.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        items = tuple(sorted(((freeze(k), freeze(v)) for k, v in value.items()),
+                             key=lambda kv: repr(kv[0])))
+        return ("__dict__", items)
+    if isinstance(value, list):
+        return ("__list__", tuple(freeze(v) for v in value))
+    if isinstance(value, tuple):
+        return ("__tuple__", tuple(freeze(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("__set__", tuple(sorted((freeze(v) for v in value), key=repr)))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, freeze(getattr(value, f.name))) for f in dataclasses.fields(value)
+        )
+        return ("__dc__", type(value).__name__, fields)
+    raise SerializationError(
+        f"value of type {type(value).__name__} is not plain data: {value!r}"
+    )
+
+
+def digest(value: Any) -> str:
+    """Stable hex digest of a plain-data value (via :func:`freeze`)."""
+    frozen = freeze(value)
+    return hashlib.sha256(repr(frozen).encode("utf-8")).hexdigest()[:16]
+
+
+def checkpoint_state(obj: Any, field_names) -> Dict[str, Any]:
+    """Snapshot the named attributes of ``obj`` into a checkpoint dict."""
+    return {name: snapshot_value(getattr(obj, name)) for name in field_names}
+
+
+def restore_state(obj: Any, checkpoint: Dict[str, Any]) -> None:
+    """Install a checkpoint dict onto ``obj`` (deep-copying values)."""
+    for name, value in checkpoint.items():
+        setattr(obj, name, snapshot_value(value))
+
+
+__all__ = [
+    "SerializationError",
+    "snapshot_value",
+    "freeze",
+    "digest",
+    "checkpoint_state",
+    "restore_state",
+]

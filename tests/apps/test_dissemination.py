@@ -1,0 +1,143 @@
+"""Swarm content distribution: mechanics and block policies."""
+
+import pytest
+
+from repro.apps.dissemination import (
+    AdaptiveBlockResolver,
+    DisseminationConfig,
+    RarestBlockResolver,
+    all_complete,
+    completion_times,
+    make_baseline_swarm_factory,
+    make_exposed_swarm_factory,
+    make_views,
+)
+from repro.choice import ChoicePoint, RandomResolver
+from repro.statemachine import Cluster
+
+
+def run_swarm(strategy="rarest", n=6, blocks=8, seed=2, until=120.0,
+              exposed_resolver=None):
+    config = DisseminationConfig(n=n, block_count=blocks, seeds=(0,), view_size=n - 1)
+    views = make_views(n, config.view_size, seed)
+    if exposed_resolver is None:
+        factory = make_baseline_swarm_factory(config, views, strategy)
+        cluster = Cluster(n, factory, seed=seed)
+    else:
+        factory = make_exposed_swarm_factory(config, views)
+        cluster = Cluster(n, factory, seed=seed,
+                          resolver_factory=lambda nid: exposed_resolver)
+    cluster.start_all()
+    cluster.run(until=until)
+    return cluster
+
+
+def test_make_views_excludes_self_and_is_bounded():
+    views = make_views(6, 3, seed=1)
+    for node_id, view in enumerate(views):
+        assert node_id not in view
+        assert len(view) == 3
+
+
+def test_seed_starts_complete():
+    cluster = run_swarm(until=0.5)
+    seed_service = cluster.service(0)
+    assert seed_service.is_seed
+    assert seed_service.completed_at == 0.0
+    assert len(seed_service.have) == 8
+
+
+@pytest.mark.parametrize("strategy", ["random", "rarest"])
+def test_swarm_completes(strategy):
+    cluster = run_swarm(strategy=strategy)
+    assert all_complete(cluster.services)
+    times = completion_times(cluster.services)
+    assert len(times) == 5
+    assert all(t > 0 for t in times)
+
+
+def test_unknown_strategy_rejected():
+    config = DisseminationConfig(n=3)
+    views = make_views(3, 2, 0)
+    with pytest.raises(ValueError):
+        make_baseline_swarm_factory(config, views, "chaotic")(0)
+
+
+def test_leechers_serve_each_other():
+    cluster = run_swarm()
+    sends = [
+        rec for rec in cluster.sim.trace.select("net.send")
+        if rec.data.get("kind") == "BlockData" and rec.node != 0
+    ]
+    assert sends  # some block data flowed leecher-to-leecher
+
+
+def test_have_announcements_update_availability():
+    cluster = run_swarm(until=120.0)
+    service = cluster.service(1)
+    assert any(service.availability.values())
+
+
+def test_outstanding_bounded():
+    config = DisseminationConfig(n=4, block_count=16, seeds=(0,), max_outstanding=2)
+    views = make_views(4, 3, 1)
+    factory = make_baseline_swarm_factory(config, views, "random")
+    cluster = Cluster(4, factory, seed=1)
+    cluster.start_all()
+    for _ in range(50):
+        cluster.run(max_events=20)
+        for service in cluster.services:
+            assert len(service.outstanding) <= 2
+
+
+def test_exposed_with_rarest_resolver_completes():
+    cluster = run_swarm(exposed_resolver=RarestBlockResolver())
+    assert all_complete(cluster.services)
+
+
+def test_exposed_with_adaptive_resolver_completes():
+    cluster = run_swarm(exposed_resolver=AdaptiveBlockResolver())
+    assert all_complete(cluster.services)
+
+
+def test_rarest_resolver_picks_min_count():
+    resolver = RarestBlockResolver()
+    point = ChoicePoint(
+        label="next-block", candidates=[1, 2, 3], node_id=0,
+        info={"counts": {1: 5, 2: 1, 3: 4}},
+    )
+    assert resolver.resolve(point) == 2
+
+
+def test_adaptive_resolver_switches_on_scarcity():
+    scarce = ChoicePoint(
+        label="next-block", candidates=[1, 2], node_id=0,
+        info={"counts": {1: 1, 2: 9}},
+    )
+    abundant = ChoicePoint(
+        label="next-block", candidates=[1, 2], node_id=0,
+        info={"counts": {1: 8, 2: 9}},
+    )
+    resolver = AdaptiveBlockResolver(scarcity_threshold=2)
+    assert resolver.resolve(scarce) == 1        # rarest mode
+    # Abundant mode: uniform over all candidates (first without a node rng).
+    assert resolver.resolve(abundant) in (1, 2)
+
+
+def test_request_timeout_reissues():
+    # A request stuck in `outstanding` past the timeout must be pruned
+    # and re-issued; without pruning, block 0 would never be fetched
+    # (outstanding blocks are excluded from `needed`).
+    config = DisseminationConfig(
+        n=2, block_count=2, seeds=(0,), view_size=1, request_timeout=1.0,
+    )
+    views = make_views(2, 1, 0)
+    factory = make_baseline_swarm_factory(config, views, "random")
+    cluster = Cluster(2, factory, seed=1)
+    cluster.start_all()
+    cluster.run(until=0.2)  # bitfields exchanged, nothing downloaded yet
+    leecher = cluster.service(1)
+    leecher.have = {1}
+    leecher.outstanding = {0: (0, -10.0)}  # stale request far past timeout
+    cluster.run(until=10.0)
+    assert leecher.completed_at is not None

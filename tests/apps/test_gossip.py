@@ -1,0 +1,121 @@
+"""Gossip protocol behaviour and peer-choice policies."""
+
+import pytest
+
+from repro.apps.gossip import (
+    GossipConfig,
+    all_delivered,
+    bar_partner,
+    coverage,
+    delivery_latencies,
+    make_baseline_gossip_factory,
+    make_exposed_gossip_factory,
+    make_model_gossip_resolver,
+    mean_delivery_latency,
+)
+from repro.choice import RandomResolver
+from repro.runtime import install_crystalball
+from repro.statemachine import Cluster
+
+
+def run_gossip(factory, n=8, seed=3, until=20.0, resolver_factory=None):
+    cluster = Cluster(n, factory, seed=seed, resolver_factory=resolver_factory)
+    cluster.start_all()
+    cluster.run(until=until)
+    return cluster
+
+
+def test_bar_partner_valid_and_deterministic():
+    for round_number in range(20):
+        partner = bar_partner(3, round_number, 8)
+        assert 0 <= partner < 8 and partner != 3
+        assert partner == bar_partner(3, round_number, 8)
+
+
+def test_bar_partner_varies_with_round():
+    partners = {bar_partner(0, r, 16) for r in range(16)}
+    assert len(partners) > 3
+
+
+def test_one_shot_dissemination_completes():
+    config = GossipConfig(n=8, rumor_count=4)
+    cluster = run_gossip(make_baseline_gossip_factory(config, "random"))
+    assert all_delivered(cluster.services, 4)
+    assert coverage(cluster.services, 4) == 1.0
+
+
+def test_bar_strategy_also_completes():
+    config = GossipConfig(n=8, rumor_count=4)
+    cluster = run_gossip(make_baseline_gossip_factory(config, "bar"))
+    assert all_delivered(cluster.services, 4)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        make_baseline_gossip_factory(GossipConfig(), "zigzag")(0)
+
+
+def test_streaming_publishes_on_schedule():
+    config = GossipConfig(n=4, rumor_count=3, publish_interval=2.0)
+    cluster = run_gossip(make_baseline_gossip_factory(config, "random"), n=4, until=3.0)
+    source = cluster.service(0)
+    assert source.published == 2  # published at t=0 and t=2
+
+
+def test_delivery_latencies_positive_and_counted():
+    config = GossipConfig(n=6, rumor_count=3, publish_interval=1.0)
+    cluster = run_gossip(make_baseline_gossip_factory(config, "random"), n=6, until=30.0)
+    latencies = delivery_latencies(cluster.services, config)
+    assert len(latencies) == 6 * 3
+    assert all(lat >= 0 for lat in latencies)
+    assert mean_delivery_latency(cluster.services, config) > 0
+
+
+def test_exposed_with_random_resolver_completes():
+    config = GossipConfig(n=8, rumor_count=4)
+    cluster = run_gossip(
+        make_exposed_gossip_factory(config),
+        resolver_factory=lambda nid: RandomResolver(1),
+    )
+    assert all_delivered(cluster.services, 4)
+
+
+def test_exposed_with_model_resolver_completes():
+    config = GossipConfig(n=8, rumor_count=4)
+    factory = make_exposed_gossip_factory(config)
+    cluster = Cluster(8, factory, seed=3)
+    runtimes = install_crystalball(
+        cluster, factory, set_resolver=False,
+        checkpoint_period=0.2, prediction_period=0.0,
+    )
+    for runtime, node in zip(runtimes, cluster.nodes):
+        runtime.network_model.bootstrap_from_topology(cluster.topology)
+        node.choice_resolver = make_model_gossip_resolver()
+    cluster.start_all()
+    cluster.run(until=20.0)
+    assert all_delivered(cluster.services, 4)
+
+
+def test_push_respects_payload_limit():
+    config = GossipConfig(n=4, rumor_count=8, push_limit=2)
+    cluster = run_gossip(make_baseline_gossip_factory(config, "random"), n=4, until=1.0)
+    pushes = [
+        rec for rec in cluster.sim.trace.select("net.send")
+        if rec.data.get("kind") == "GossipPush"
+    ]
+    assert pushes  # the source pushed something
+    # Payload bound is enforced structurally: re-create a push and check.
+    source = cluster.service(0)
+    push = source._make_push()
+    assert len(push.payload_rumors) <= 2
+
+
+def test_pull_reply_backfills_sender():
+    config = GossipConfig(n=2, rumor_count=2, push_limit=2)
+    factory = make_baseline_gossip_factory(config, "random")
+    cluster = Cluster(2, factory, seed=1)
+    cluster.start_all()
+    # Give node 1 a rumor the source lacks.
+    cluster.service(1).known_at[77] = 0.0
+    cluster.run(until=2.0)
+    assert 77 in cluster.service(0).known_at

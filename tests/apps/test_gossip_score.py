@@ -1,0 +1,123 @@
+"""Gossip model-resolver scoring unit tests."""
+
+from repro.apps.gossip import ModelGossipResolver, gossip_peer_score
+from repro.apps.gossip.score import MIN_EXCHANGE_COST
+from repro.choice import ChoicePoint
+
+
+class FakeCheckpoint:
+    def __init__(self, known):
+        self.state = {"known_at": {r: 0.0 for r in known}}
+
+
+class FakeStateModel:
+    def __init__(self, peers):
+        self._peers = peers
+
+    def get(self, node_id):
+        known = self._peers.get(node_id)
+        return FakeCheckpoint(known) if known is not None else None
+
+
+class FakeNetworkModel:
+    def __init__(self, rtts):
+        self._rtts = rtts
+
+    def rtt(self, a, b):
+        return self._rtts.get((a, b), 0.1)
+
+
+class FakeRuntime:
+    def __init__(self, peers, rtts):
+        self.state_model = FakeStateModel(peers)
+        self.network_model = FakeNetworkModel(rtts)
+
+
+class FakeService:
+    def __init__(self, known):
+        self.known = set(known)
+
+
+class FakeRng:
+    def random(self):
+        return 0.5
+
+    def choice(self, seq):
+        return seq[0]
+
+
+class FakeRngRegistry:
+    def stream(self, name):
+        return FakeRng()
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.rng = FakeRngRegistry()
+
+
+class FakeNode:
+    def __init__(self, known, peers, rtts):
+        self.node_id = 0
+        self.service = FakeService(known)
+        self.crystalball = FakeRuntime(peers, rtts)
+        self.sim = FakeSim()
+
+
+def point(candidates):
+    return ChoicePoint(label="gossip-peer", candidates=list(candidates), node_id=0)
+
+
+def test_score_is_novelty_rate():
+    node = FakeNode(known={1, 2, 3}, peers={5: {1}}, rtts={(0, 5): 0.1})
+    # Peer 5 is missing rumors 2 and 3 -> novelty 2 over (0.1 + floor).
+    score = gossip_peer_score(5, point([5]), node)
+    assert score == 2 / (0.1 + MIN_EXCHANGE_COST)
+
+
+def test_unknown_peer_maximally_novel():
+    node = FakeNode(known={1, 2}, peers={}, rtts={(0, 9): 0.1})
+    assert gossip_peer_score(9, point([9]), node) == 2 / (0.1 + MIN_EXCHANGE_COST)
+
+
+def test_fast_useful_beats_slow_very_novel():
+    node = FakeNode(
+        known=set(range(10)),
+        peers={1: set(range(8)), 2: set()},  # peer 1 misses 2; peer 2 misses 10
+        rtts={(0, 1): 0.02, (0, 2): 1.0},
+    )
+    fast = gossip_peer_score(1, point([1, 2]), node)
+    slow = gossip_peer_score(2, point([1, 2]), node)
+    assert fast > slow
+
+
+def test_no_runtime_scores_zero():
+    node = FakeNode(known={1}, peers={}, rtts={})
+    node.crystalball = None
+    assert gossip_peer_score(5, point([5]), node) == 0.0
+
+
+def test_resolver_prefers_high_weight_statistically():
+    node = FakeNode(
+        known=set(range(10)),
+        peers={1: set(), 2: set(range(10))},  # peer 1 very novel, peer 2 in sync
+        rtts={(0, 1): 0.02, (0, 2): 0.02},
+    )
+    resolver = ModelGossipResolver(base_weight=0.1, recency_damp=1.0)
+    # With proportional sampling at rng=0.5, the heavy-weight candidate
+    # covers the sample point.
+    assert resolver.resolve(point([1, 2]), node) == 1
+
+
+def test_resolver_recency_damp_rotates():
+    node = FakeNode(
+        known=set(range(10)),
+        peers={1: set(), 2: set()},
+        rtts={(0, 1): 0.02, (0, 2): 0.02},
+    )
+    resolver = ModelGossipResolver(base_weight=0.1, recency_damp=0.001,
+                                   recency_window=10.0)
+    first = resolver.resolve(point([1, 2]), node)
+    second = resolver.resolve(point([1, 2]), node)
+    assert {first, second} == {1, 2}  # damped after being chosen

@@ -1,0 +1,66 @@
+"""Service-contributed in-flight state: recent_forwards + its penalty."""
+
+from repro.apps.randtree import RandTreeConfig, make_exposed_factory
+from repro.apps.randtree.common import pending_forward_penalty
+from repro.choice import RandomResolver
+from repro.statemachine import Cluster
+
+
+def node_state(joined=True, parent=None, children=(), forwards=None):
+    return {
+        "joined": joined, "parent": parent, "children": list(children),
+        "depth": 0, "child_last_seen": {}, "hb_missed": 0,
+        "siblings": [], "grandparent": None,
+        "recent_forwards": dict(forwards or {}),
+    }
+
+
+def test_penalty_zero_without_forwards():
+    states = {0: node_state(children=[1]), 1: node_state(parent=0)}
+    assert pending_forward_penalty(states, root=0) == 0.0
+
+
+def test_penalty_depth_weighted():
+    states = {
+        0: node_state(children=[1], forwards={1: 1}),
+        1: node_state(parent=0, children=[2]),
+        2: node_state(parent=1),
+    }
+    # Child 1 is at depth 2 -> penalty (2 + 1) * 1.
+    assert pending_forward_penalty(states, root=0) == 3.0
+
+
+def test_penalty_convex_in_count():
+    one = {0: node_state(children=[1], forwards={1: 1}), 1: node_state(parent=0)}
+    two = {0: node_state(children=[1], forwards={1: 2}), 1: node_state(parent=0)}
+    assert pending_forward_penalty(two, 0) == 4 * pending_forward_penalty(one, 0)
+
+
+def test_split_beats_concentration():
+    concentrated = {
+        0: node_state(children=[1, 2], forwards={1: 2}),
+        1: node_state(parent=0), 2: node_state(parent=0),
+    }
+    split = {
+        0: node_state(children=[1, 2], forwards={1: 1, 2: 1}),
+        1: node_state(parent=0), 2: node_state(parent=0),
+    }
+    assert pending_forward_penalty(split, 0) < pending_forward_penalty(concentrated, 0)
+
+
+def test_service_records_and_clears_forwards():
+    config = RandTreeConfig()
+    cluster = Cluster(9, make_exposed_factory(config), seed=1,
+                      resolver_factory=lambda nid: RandomResolver(1))
+    cluster.start_all()
+    cluster.run(until=3.0)
+    # With 9 joiners and fan-out 2 the root must have forwarded some.
+    root = cluster.service(0)
+    total_forwards_seen = sum(
+        1 for rec in cluster.sim.trace.select("choice.resolve")
+        if rec.data["label"] == "join-forward"
+    )
+    assert total_forwards_seen > 0
+    # After a few sweep periods with no join traffic the counters clear.
+    cluster.run(until=12.0)
+    assert root.recent_forwards == {}

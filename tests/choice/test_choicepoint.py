@@ -1,0 +1,26 @@
+"""ChoicePoint construction and validation."""
+
+import pytest
+
+from repro.choice import ChoiceError, ChoicePoint, ChoiceResolver
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ChoiceError):
+        ChoicePoint(label="x", candidates=[], node_id=0)
+
+
+def test_info_defaults_empty():
+    point = ChoicePoint(label="x", candidates=[1], node_id=0)
+    assert point.info == {}
+
+
+def test_carries_context():
+    point = ChoicePoint(label="peer", candidates=[1, 2], node_id=3, info={"round": 7})
+    assert point.node_id == 3
+    assert point.info["round"] == 7
+
+
+def test_base_resolver_abstract():
+    with pytest.raises(NotImplementedError):
+        ChoiceResolver().resolve(ChoicePoint(label="x", candidates=[1], node_id=0))

@@ -1,0 +1,59 @@
+"""Objective scoring semantics."""
+
+import pytest
+
+from repro.choice import (
+    LivenessObjective,
+    PerformanceObjective,
+    SAFETY_PENALTY,
+    SafetyObjective,
+    WeightedObjective,
+    combine,
+)
+
+
+def test_safety_holds_scores_zero():
+    objective = SafetyObjective("ok", lambda w: True)
+    assert objective.score(None) == 0.0
+    assert objective.holds(None)
+
+
+def test_safety_violation_is_heavy():
+    objective = SafetyObjective("bad", lambda w: False)
+    assert objective.score(None) == -SAFETY_PENALTY
+
+
+def test_liveness_rewards_progress():
+    objective = LivenessObjective("done", lambda w: w == "done", reward=10)
+    assert objective.score("done") == 10
+    assert objective.score("not") == 0
+
+
+def test_performance_maximize():
+    objective = PerformanceObjective("tput", lambda w: w, weight=2.0)
+    assert objective.score(5) == 10.0
+
+
+def test_performance_minimize_negates():
+    objective = PerformanceObjective("depth", lambda w: w, minimize=True)
+    assert objective.score(7) == -7.0
+
+
+def test_weighted_combination():
+    a = PerformanceObjective("a", lambda w: 1.0)
+    b = PerformanceObjective("b", lambda w: 2.0)
+    combined = WeightedObjective([(1.0, a), (3.0, b)])
+    assert combined.score(None) == pytest.approx(7.0)
+
+
+def test_combine_equal_weights():
+    a = PerformanceObjective("a", lambda w: 1.0)
+    b = PerformanceObjective("b", lambda w: 2.0)
+    assert combine(a, b).score(None) == pytest.approx(3.0)
+
+
+def test_safety_dominates_performance_in_combination():
+    perf = PerformanceObjective("fast", lambda w: 1000.0)
+    safety = SafetyObjective("never", lambda w: False)
+    combined = combine(perf, safety)
+    assert combined.score(None) < 0

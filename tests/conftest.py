@@ -1,0 +1,83 @@
+"""Shared fixtures: a small echo/counter service and cluster builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.statemachine import Cluster, Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class Ping(Message):
+    """Test message: a hop-counted ping."""
+
+    hops: int
+
+
+@dataclass
+class Note(Message):
+    """Test message: an opaque payload."""
+
+    text: str
+
+
+class EchoService(Service):
+    """Bounces pings back until a hop budget runs out."""
+
+    state_fields = ("received", "log")
+
+    def __init__(self, node_id: int, peers: int = 2, max_hops: int = 6) -> None:
+        super().__init__(node_id)
+        self.peers = peers
+        self.max_hops = max_hops
+        self.received = 0
+        self.log: List[str] = []
+
+    def on_init(self) -> None:
+        if self.node_id == 0:
+            self.send(1 % self.peers, Ping(hops=1))
+
+    @msg_handler(Ping)
+    def on_ping(self, src: int, msg: Ping) -> None:
+        self.received += 1
+        self.log.append(f"ping{msg.hops}")
+        if msg.hops < self.max_hops:
+            self.send(src, Ping(hops=msg.hops + 1))
+
+    @msg_handler(Note)
+    def on_note(self, src: int, msg: Note) -> None:
+        self.log.append(msg.text)
+
+
+class TickService(Service):
+    """Counts periodic timer firings."""
+
+    state_fields = ("ticks",)
+
+    def __init__(self, node_id: int, period: float = 1.0) -> None:
+        super().__init__(node_id)
+        self.period = period
+        self.ticks = 0
+
+    def on_init(self) -> None:
+        self.set_timer("tick", self.period)
+
+    @timer_handler("tick")
+    def on_tick(self, payload) -> None:
+        self.ticks += 1
+        self.set_timer("tick", self.period)
+
+
+@pytest.fixture
+def echo_cluster():
+    """Two-node echo cluster (seeded, full mesh)."""
+    return Cluster(2, lambda nid: EchoService(nid, peers=2), seed=7)
+
+
+@pytest.fixture
+def tick_cluster():
+    """Three-node periodic-timer cluster."""
+    return Cluster(3, lambda nid: TickService(nid), seed=7)

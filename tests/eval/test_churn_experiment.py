@@ -1,0 +1,38 @@
+"""Continuous-churn scenario harness (small/short for speed)."""
+
+import pytest
+
+from repro.eval import run_churn_experiment
+
+
+def run_small(variant, seed=1):
+    return run_churn_experiment(
+        variant, n=11, seed=seed, warmup=8.0, duration=15.0,
+        churn_period=3.0, downtime=3.0,
+    )
+
+
+@pytest.mark.parametrize("variant", ["baseline", "choice-random"])
+def test_churn_scenario_runs(variant):
+    result = run_small(variant)
+    assert result.samples == 15
+    assert result.churn_events >= 3
+    assert result.mean_depth > 0
+    assert 0.5 < result.mean_attached_fraction <= 1.0
+
+
+def test_churn_deterministic():
+    a = run_small("baseline", seed=4)
+    b = run_small("baseline", seed=4)
+    assert a.mean_depth == b.mean_depth
+    assert a.max_depth == b.max_depth
+    assert a.mean_attached_fraction == b.mean_attached_fraction
+
+
+def test_churn_crystalball_variant_runs():
+    result = run_churn_experiment(
+        "choice-crystalball", n=9, seed=1, warmup=6.0, duration=10.0,
+        churn_period=3.0, downtime=3.0, chain_depth=4, budget=100,
+    )
+    assert result.samples == 10
+    assert result.mean_attached_fraction > 0.5

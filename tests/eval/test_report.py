@@ -1,0 +1,38 @@
+"""Report generation (quick scope and section rendering)."""
+
+import pytest
+
+from repro.eval.report import ReportSection, e1_section, generate_report
+
+
+def test_section_markdown_rendering():
+    section = ReportSection(
+        experiment="EX", title="demo", headers=("a", "b"),
+        rows=[(1, 2), (3, 4)], note="a note",
+    )
+    md = section.to_markdown()
+    assert "## EX — demo" in md
+    assert "| a | b |" in md
+    assert "| 3 | 4 |" in md
+    assert "a note" in md
+
+
+def test_e1_section_values():
+    section = e1_section()
+    assert section.experiment == "E1"
+    metric_names = [row[0] for row in section.rows]
+    assert "lines of code" in metric_names
+    assert "LoC reduction" in metric_names
+
+
+def test_invalid_scope_rejected():
+    with pytest.raises(ValueError):
+        generate_report(scope="enormous")
+
+
+@pytest.mark.slow
+def test_quick_report_generates():
+    report = generate_report(scope="quick")
+    for experiment in ("E1", "E2", "E3", "E4", "E5", "E6"):
+        assert f"## {experiment}" in report
+    assert "Scope: **quick**" in report

@@ -1,0 +1,51 @@
+"""Case-study scenario harness (small n for speed)."""
+
+import pytest
+
+from repro.apps.randtree import RandTreeConfig
+from repro.eval import failed_subtree, optimal_depth, run_tree_experiment
+
+
+def test_optimal_depth_values():
+    assert optimal_depth(1, 2) == 1
+    assert optimal_depth(3, 2) == 2
+    assert optimal_depth(7, 2) == 3
+    assert optimal_depth(31, 2) == 5
+    assert optimal_depth(32, 2) == 6
+    assert optimal_depth(13, 3) == 3
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        run_tree_experiment("nonsense", n=3)
+
+
+@pytest.mark.parametrize("variant", ["baseline", "choice-random"])
+def test_small_scenario_completes(variant):
+    result = run_tree_experiment(variant, n=15, seed=2)
+    assert result.joined_after_join == 15
+    assert result.joined_after_rejoin == 15
+    assert result.depth_after_join >= optimal_depth(15, 2)
+    assert result.failed_nodes  # a subtree was actually failed
+
+
+def test_failed_subtree_is_proper_subset():
+    result = run_tree_experiment("baseline", n=15, seed=2)
+    assert 0 not in result.failed_nodes
+    assert 1 <= len(result.failed_nodes) < 15
+
+
+def test_crystalball_variant_small():
+    result = run_tree_experiment(
+        "choice-crystalball", n=9, seed=2, chain_depth=4, budget=120,
+    )
+    assert result.joined_after_join == 9
+    assert result.joined_after_rejoin == 9
+
+
+def test_deterministic_given_seed():
+    a = run_tree_experiment("baseline", n=11, seed=5)
+    b = run_tree_experiment("baseline", n=11, seed=5)
+    assert a.depth_after_join == b.depth_after_join
+    assert a.depth_after_rejoin == b.depth_after_rejoin
+    assert a.failed_nodes == b.failed_nodes

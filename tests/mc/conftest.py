@@ -1,0 +1,51 @@
+"""A tiny token-passing protocol for exercising the model checker."""
+
+from dataclasses import dataclass
+from typing import List
+
+import pytest
+
+from repro.statemachine import Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class Token(Message):
+    """A counter token passed between nodes."""
+
+    value: int
+
+
+class TokenService(Service):
+    """Accumulates tokens; forwards until a cap, choosing the target."""
+
+    state_fields = ("total", "forwards")
+
+    def __init__(self, node_id: int, n: int = 3, cap: int = 2) -> None:
+        super().__init__(node_id)
+        self.n = n
+        self.cap = cap
+        self.total = 0
+        self.forwards = 0
+
+    def on_init(self) -> None:
+        self.set_timer("kick", 1.0)
+
+    @timer_handler("kick")
+    def on_kick(self, payload) -> None:
+        peers = [p for p in range(self.n) if p != self.node_id]
+        target = self.choose("kick-target", peers)
+        self.send(target, Token(value=1))
+
+    @msg_handler(Token)
+    def on_token(self, src: int, msg: Token) -> None:
+        self.total += msg.value
+        if self.forwards < self.cap:
+            self.forwards += 1
+            peers = [p for p in range(self.n) if p != self.node_id]
+            target = self.choose("fwd-target", peers)
+            self.send(target, Token(value=msg.value))
+
+
+@pytest.fixture
+def token_factory():
+    return lambda node_id: TokenService(node_id, n=3)

@@ -1,0 +1,69 @@
+"""Explorer bounding behaviour: choice-variant caps, unknown targets."""
+
+from dataclasses import dataclass
+
+from repro.mc import Explorer, InFlightMessage, WorldState
+from repro.statemachine import Message, Service, msg_handler
+
+
+@dataclass
+class Fanout(Message):
+    rounds: int
+
+
+class WideChooser(Service):
+    """A handler with several sequential wide choices (variant blow-up)."""
+
+    state_fields = ("picks",)
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.picks = []
+
+    @msg_handler(Fanout)
+    def on_fanout(self, src, msg):
+        for _ in range(msg.rounds):
+            self.picks.append(self.choose("wide", list(range(4))))
+
+
+def make_world(factory, msg, n=2):
+    states = {i: factory(i).checkpoint() for i in range(n)}
+    return WorldState(node_states=states, inflight=[InFlightMessage(0, 1, msg)])
+
+
+def test_variants_enumerate_fully_when_small():
+    explorer = Explorer(WideChooser)
+    world = make_world(WideChooser, Fanout(rounds=1))
+    action = explorer.enabled_actions(world)[0]
+    successors = explorer.successors(world, action)
+    assert len(successors) == 4
+    picks = {tuple(s.state_of(1)["picks"]) for s in successors}
+    assert picks == {(0,), (1,), (2,), (3,)}
+
+
+def test_variant_cap_bounds_blowup():
+    # 3 sequential 4-way choices = 64 full variants; cap at 10 expansions.
+    explorer = Explorer(WideChooser, max_choice_variants=10)
+    world = make_world(WideChooser, Fanout(rounds=3))
+    action = explorer.enabled_actions(world)[0]
+    successors = explorer.successors(world, action)
+    assert 0 < len(successors) < 64
+
+
+def test_unknown_destination_not_enabled():
+    explorer = Explorer(WideChooser)
+    states = {0: WideChooser(0).checkpoint()}  # node 7 unknown
+    world = WorldState(
+        node_states=states,
+        inflight=[InFlightMessage(0, 7, Fanout(rounds=1))],
+    )
+    assert explorer.enabled_actions(world) == []
+
+
+def test_successors_do_not_mutate_input_world():
+    explorer = Explorer(WideChooser)
+    world = make_world(WideChooser, Fanout(rounds=1))
+    digest = world.digest()
+    explorer.successors(world, explorer.enabled_actions(world)[0])
+    assert world.digest() == digest
+    assert len(world.inflight) == 1

@@ -1,0 +1,43 @@
+"""Safety property helpers."""
+
+from repro.mc import SafetyProperty, WorldState, all_nodes, pairwise, violated_properties
+
+
+def make_world(states, down=()):
+    return WorldState(node_states=states, down=down)
+
+
+def test_violated_properties_lists_names():
+    world = make_world({0: {"x": 1}})
+    props = [
+        SafetyProperty("ok", lambda w: True),
+        SafetyProperty("bad", lambda w: False),
+    ]
+    assert violated_properties(world, props) == ["bad"]
+
+
+def test_all_nodes_checks_live_only():
+    prop = all_nodes(lambda nid, state: state["x"] > 0, name="positive")
+    world = make_world({0: {"x": 1}, 1: {"x": -1}}, down={1})
+    assert prop.holds(world)
+    assert not prop.holds(make_world({0: {"x": 1}, 1: {"x": -1}}))
+
+
+def test_pairwise_checks_ordered_pairs():
+    # a's "next" pointer must name a node whose "prev" is a.
+    def consistent(a, sa, b, sb):
+        if sa.get("next") == b:
+            return sb.get("prev") == a
+        return True
+
+    prop = pairwise(consistent, name="links")
+    good = make_world({0: {"next": 1, "prev": None}, 1: {"next": None, "prev": 0}})
+    bad = make_world({0: {"next": 1, "prev": None}, 1: {"next": None, "prev": 9}})
+    assert prop.holds(good)
+    assert not prop.holds(bad)
+
+
+def test_pairwise_ignores_down_nodes():
+    prop = pairwise(lambda a, sa, b, sb: False, name="never")
+    world = make_world({0: {}, 1: {}}, down={0, 1})
+    assert prop.holds(world)  # vacuously: no live pairs

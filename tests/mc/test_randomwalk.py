@@ -1,0 +1,73 @@
+"""Random-walk simulation over worlds."""
+
+from repro.mc import Explorer, InFlightMessage, RandomWalkSimulator, WorldState
+
+from .conftest import Token
+
+
+def world_with(factory, inflight=(), n=3):
+    states = {i: factory(i).checkpoint() for i in range(n)}
+    return WorldState(node_states=states, inflight=inflight)
+
+
+def total_sum(world):
+    return sum(world.state_of(n)["total"] for n in world.node_ids)
+
+
+def test_walk_terminates_at_dead_end(token_factory):
+    world = world_with(token_factory)  # nothing enabled
+    sim = RandomWalkSimulator(Explorer(token_factory), seed=1)
+    walk = sim.walk(world, max_steps=10)
+    assert walk.steps == 0
+    assert walk.ended_early
+
+
+def test_walk_respects_step_bound(token_factory):
+    world = world_with(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    sim = RandomWalkSimulator(Explorer(token_factory), seed=1)
+    walk = sim.walk(world, max_steps=2)
+    assert walk.steps <= 2
+
+
+def test_walk_makes_progress(token_factory):
+    world = world_with(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    sim = RandomWalkSimulator(Explorer(token_factory), seed=1)
+    walk = sim.walk(world, max_steps=8)
+    assert total_sum(walk.final_world) >= 1
+
+
+def test_sampling_is_deterministic_per_seed(token_factory):
+    world = world_with(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    explorer = Explorer(token_factory)
+    a = RandomWalkSimulator(explorer, seed=5).sample(world, walks=8, max_steps=5,
+                                                     metric=total_sum)
+    b = RandomWalkSimulator(explorer, seed=5).sample(world, walks=8, max_steps=5,
+                                                     metric=total_sum)
+    assert a.metric_samples == b.metric_samples
+
+
+def test_sample_report_statistics(token_factory):
+    world = world_with(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    sim = RandomWalkSimulator(Explorer(token_factory), seed=2)
+    report = sim.sample(world, walks=16, max_steps=6, metric=total_sum)
+    assert len(report.walks) == 16
+    assert len(report.metric_samples) == 16
+    assert report.mean_metric >= 1.0
+    assert report.mean_final_time > 0.0
+
+
+def test_empty_report_statistics():
+    from repro.mc.randomwalk import SampleReport
+
+    report = SampleReport()
+    assert report.mean_metric is None
+    assert report.mean_final_time is None
+
+
+def test_walks_explore_different_futures(token_factory):
+    # Inner choices branch; random walks should not all agree.
+    world = world_with(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    sim = RandomWalkSimulator(Explorer(token_factory), seed=3)
+    report = sim.sample(world, walks=16, max_steps=6)
+    digests = {walk.final_world.digest() for walk in report.walks}
+    assert len(digests) > 1

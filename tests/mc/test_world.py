@@ -1,0 +1,105 @@
+"""WorldState construction, evolution, and hashing."""
+
+import pytest
+
+from repro.mc import InFlightMessage, PendingTimer, WorldState
+
+from .conftest import Token
+
+
+def make_world(**kwargs):
+    defaults = dict(
+        node_states={0: {"total": 0}, 1: {"total": 1}},
+        inflight=[InFlightMessage(0, 1, Token(value=1))],
+        timers=[PendingTimer(0, "kick", None, 1.0)],
+    )
+    defaults.update(kwargs)
+    return WorldState(**defaults)
+
+
+def test_node_ids_sorted():
+    world = make_world(node_states={2: {}, 0: {}, 1: {}})
+    assert world.node_ids == [0, 1, 2]
+
+
+def test_live_nodes_excludes_down():
+    world = make_world(down={1})
+    assert world.live_nodes() == [0]
+    assert not world.is_up(1)
+
+
+def test_digest_stable_and_state_sensitive():
+    assert make_world().digest() == make_world().digest()
+    changed = make_world(node_states={0: {"total": 9}, 1: {"total": 1}})
+    assert changed.digest() != make_world().digest()
+
+
+def test_digest_ignores_time_and_depth():
+    a = make_world()
+    b = make_world()
+    b.time = 99.0
+    b.depth = 5
+    assert a.digest() == b.digest()
+
+
+def test_digest_inflight_order_insensitive():
+    m1 = InFlightMessage(0, 1, Token(value=1))
+    m2 = InFlightMessage(1, 0, Token(value=2))
+    a = make_world(inflight=[m1, m2])
+    b = make_world(inflight=[m2, m1])
+    assert a.digest() == b.digest()
+
+
+def test_evolve_replaces_node_state():
+    world = make_world()
+    successor = world.evolve(node_id=0, new_state={"total": 5})
+    assert successor.state_of(0) == {"total": 5}
+    assert world.state_of(0) == {"total": 0}  # original untouched
+
+
+def test_evolve_removes_one_inflight_instance():
+    message = InFlightMessage(0, 1, Token(value=1))
+    world = make_world(inflight=[message, message])
+    successor = world.evolve(remove_inflight=message)
+    assert len(successor.inflight) == 1
+
+
+def test_evolve_missing_inflight_raises():
+    world = make_world(inflight=[])
+    with pytest.raises(ValueError):
+        world.evolve(remove_inflight=InFlightMessage(5, 6, Token(value=9)))
+
+
+def test_evolve_rearm_timer_supersedes():
+    world = make_world()
+    successor = world.evolve(add_timers=[PendingTimer(0, "kick", "new", 2.0)])
+    kicks = [t for t in successor.timers if t.name == "kick"]
+    assert len(kicks) == 1
+    assert kicks[0].payload == "new"
+
+
+def test_evolve_increments_depth_and_time():
+    world = make_world()
+    successor = world.evolve(time_delta=0.5)
+    assert successor.depth == world.depth + 1
+    assert successor.time == pytest.approx(world.time + 0.5)
+
+
+def test_with_down_changes_only_down_set():
+    world = make_world()
+    successor = world.with_down({0})
+    assert successor.down == {0}
+    assert successor.node_states == world.node_states
+
+
+def test_copy_states_false_shares_dicts():
+    states = {0: {"total": 0}}
+    world = WorldState(node_states=states, copy_states=False)
+    assert world.node_states[0] is states[0]
+
+
+def test_copy_states_true_isolates():
+    states = {0: {"total": [1]}}
+    world = WorldState(node_states=states)
+    states[0]["total"].append(2)
+    assert world.state_of(0) == {"total": [1]}

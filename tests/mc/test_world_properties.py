@@ -1,0 +1,69 @@
+"""Property-based WorldState invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import InFlightMessage, PendingTimer, WorldState
+
+from .conftest import Token
+
+
+def messages_strategy():
+    return st.lists(
+        st.builds(
+            InFlightMessage,
+            src=st.integers(0, 3),
+            dst=st.integers(0, 3),
+            msg=st.builds(Token, value=st.integers(0, 5)),
+        ),
+        max_size=6,
+    )
+
+
+def states_strategy():
+    return st.dictionaries(
+        st.integers(0, 3),
+        st.fixed_dictionaries({"total": st.integers(0, 9), "forwards": st.integers(0, 3)}),
+        min_size=1,
+        max_size=4,
+    )
+
+
+@given(states=states_strategy(), inflight=messages_strategy())
+@settings(max_examples=50, deadline=None)
+def test_digest_invariant_under_inflight_permutation(states, inflight):
+    a = WorldState(node_states=states, inflight=inflight)
+    b = WorldState(node_states=states, inflight=list(reversed(inflight)))
+    assert a.digest() == b.digest()
+
+
+@given(states=states_strategy(), inflight=messages_strategy())
+@settings(max_examples=50, deadline=None)
+def test_remove_then_readd_roundtrips_digest(states, inflight):
+    world = WorldState(node_states=states, inflight=inflight)
+    if not inflight:
+        return
+    victim = inflight[0]
+    removed = world.evolve(remove_inflight=victim)
+    restored = removed.evolve(add_inflight=[victim])
+    assert restored.digest() == world.digest()
+
+
+@given(states=states_strategy())
+@settings(max_examples=50, deadline=None)
+def test_evolve_never_mutates_original(states):
+    world = WorldState(node_states=states)
+    original_digest = world.digest()
+    node_id = world.node_ids[0]
+    world.evolve(node_id=node_id, new_state={"total": 999, "forwards": 0})
+    world.evolve(add_timers=[PendingTimer(node_id, "t", None, 1.0)])
+    world.with_down({node_id})
+    assert world.digest() == original_digest
+
+
+@given(states=states_strategy(), down=st.sets(st.integers(0, 3), max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_live_nodes_partition(states, down):
+    world = WorldState(node_states=states, down=down)
+    live = set(world.live_nodes())
+    assert live.isdisjoint(down)
+    assert live | (down & set(world.node_ids)) == set(world.node_ids)

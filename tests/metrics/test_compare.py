@@ -1,0 +1,43 @@
+"""The E1 comparison report on the real RandTree implementations."""
+
+from repro.metrics import compare_randtree
+
+
+def test_report_reproduces_paper_shape():
+    """Section 4: exposing choices cut LoC by 43% and if-else per
+    handler from 1.94 to 0.28.  The absolute numbers differ (Python vs
+    Mace C++), but the direction and rough magnitude must hold."""
+    report = compare_randtree()
+    # LoC drops substantially.
+    assert report.exposed.loc < report.baseline.loc
+    assert report.loc_reduction > 0.20
+    # Handler complexity drops by a large factor (paper: ~7x).
+    assert report.baseline.branches_per_handler > 2.0
+    assert report.exposed.branches_per_handler < 1.0
+    ratio = report.baseline.branches_per_handler / report.exposed.branches_per_handler
+    assert ratio > 3.0
+
+
+def test_exposed_uses_guards_baseline_does_not():
+    report = compare_randtree()
+    assert report.baseline.complexity.guard_count == 0
+    assert report.exposed.complexity.guard_count >= 4
+
+
+def test_exposed_has_more_smaller_handlers():
+    """The NFA rewrite splits one monolithic handler into several."""
+    report = compare_randtree()
+    assert report.exposed.complexity.handler_count > report.baseline.complexity.handler_count
+
+
+def test_format_table_renders():
+    table = compare_randtree().format_table()
+    assert "lines of code" in table
+    assert "if-else per handler" in table
+    assert "LoC reduction" in table
+
+
+def test_rows_structure():
+    rows = compare_randtree().rows()
+    names = [name for name, _, _ in rows]
+    assert names == ["lines of code", "if-else per handler", "handlers", "guards"]

@@ -1,0 +1,98 @@
+"""If-else-per-handler complexity metric."""
+
+import textwrap
+
+from repro.metrics import analyze_source, count_branches
+import ast
+
+
+def branches_of(code):
+    return count_branches(ast.parse(textwrap.dedent(code)))
+
+
+def test_plain_if_counts_one():
+    assert branches_of("if x:\n    pass\n") == 1
+
+
+def test_if_else_counts_two():
+    assert branches_of("if x:\n    pass\nelse:\n    pass\n") == 2
+
+
+def test_elif_chain():
+    code = """
+    if a:
+        pass
+    elif b:
+        pass
+    else:
+        pass
+    """
+    # if (1) + elif (1, an If node) + final else (1) = 3
+    assert branches_of(code) == 3
+
+
+def test_ternary_counts():
+    assert branches_of("x = 1 if a else 2\n") == 1
+
+
+def test_nested_ifs_counted():
+    code = """
+    if a:
+        if b:
+            pass
+    """
+    assert branches_of(code) == 2
+
+
+HANDLER_SOURCE = '''
+from repro.statemachine import msg_handler, timer_handler
+
+class S:
+    @msg_handler(object)
+    def complex_handler(self, src, msg):
+        if msg:
+            if src:
+                pass
+            else:
+                pass
+        return None
+
+    @msg_handler(object, guard=lambda s, src, m: True)
+    def guarded_handler(self, src, msg):
+        pass
+
+    @timer_handler("t")
+    def timer_h(self, payload):
+        if payload:
+            pass
+
+    def not_a_handler(self):
+        if self:
+            pass
+'''
+
+
+def test_analyze_source_finds_handlers_only():
+    result = analyze_source(HANDLER_SOURCE)
+    names = {h.name for h in result.handlers}
+    assert names == {"complex_handler", "guarded_handler", "timer_h"}
+
+
+def test_branches_per_handler_average():
+    result = analyze_source(HANDLER_SOURCE)
+    # complex_handler: if + inner if + else = 3; guarded: 0; timer: 1.
+    assert result.total_branches == 4
+    assert result.branches_per_handler == 4 / 3
+
+
+def test_guard_counted():
+    result = analyze_source(HANDLER_SOURCE)
+    assert result.guard_count == 1
+    guarded = [h for h in result.handlers if h.has_guard]
+    assert [h.name for h in guarded] == ["guarded_handler"]
+
+
+def test_empty_module_zero():
+    result = analyze_source("x = 1\n")
+    assert result.handler_count == 0
+    assert result.branches_per_handler == 0.0

@@ -1,0 +1,57 @@
+"""Logical LoC counting."""
+
+from repro.metrics import logical_loc
+
+
+def test_counts_code_lines():
+    source = "x = 1\ny = 2\n"
+    assert logical_loc(source) == 2
+
+
+def test_blank_lines_ignored():
+    source = "x = 1\n\n\ny = 2\n"
+    assert logical_loc(source) == 2
+
+
+def test_comments_ignored():
+    source = "# a comment\nx = 1  # trailing\n# another\n"
+    assert logical_loc(source) == 1
+
+
+def test_module_docstring_ignored():
+    source = '"""Module\ndocstring\nover lines."""\nx = 1\n'
+    assert logical_loc(source) == 1
+
+
+def test_function_docstring_ignored_body_counted():
+    source = (
+        "def f():\n"
+        '    """Docs.\n'
+        '    More docs."""\n'
+        "    return 1\n"
+    )
+    assert logical_loc(source) == 2  # def line + return line
+
+
+def test_multiline_statement_counts_each_line():
+    source = "x = (1 +\n     2 +\n     3)\n"
+    assert logical_loc(source) == 3
+
+
+def test_string_literal_assignment_counts():
+    # A string assigned to a variable is code, not a docstring.
+    source = 's = """text\nmore"""\n'
+    assert logical_loc(source) == 2
+
+
+def test_class_docstring_ignored():
+    source = (
+        "class C:\n"
+        '    """Doc."""\n'
+        "    x = 1\n"
+    )
+    assert logical_loc(source) == 2
+
+
+def test_empty_source():
+    assert logical_loc("") == 0

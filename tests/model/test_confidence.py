@@ -1,0 +1,42 @@
+"""Age/sample confidence functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import age_confidence, combined_confidence, sample_confidence
+
+
+def test_fresh_information_full_confidence():
+    assert age_confidence(0.0) == 1.0
+    assert age_confidence(-5.0) == 1.0  # clock skew clamps
+
+
+def test_half_life_semantics():
+    assert age_confidence(30.0, half_life=30.0) == pytest.approx(0.5)
+    assert age_confidence(60.0, half_life=30.0) == pytest.approx(0.25)
+
+
+def test_invalid_half_life():
+    with pytest.raises(ValueError):
+        age_confidence(1.0, half_life=0)
+
+
+def test_no_samples_no_confidence():
+    assert sample_confidence(0) == 0.0
+
+
+def test_sample_confidence_monotone():
+    values = [sample_confidence(k) for k in range(10)]
+    assert values == sorted(values)
+    assert all(v < 1.0 for v in values)
+
+
+@given(st.floats(min_value=0, max_value=1e6), st.integers(min_value=0, max_value=1000))
+def test_combined_bounded(age, samples):
+    value = combined_confidence(age, samples)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.floats(min_value=0, max_value=100), st.floats(min_value=0.1, max_value=100))
+def test_age_confidence_decreasing(age, half_life):
+    assert age_confidence(age + 1, half_life) <= age_confidence(age, half_life)

@@ -1,0 +1,45 @@
+"""Generic (dummy) node havoc templates."""
+
+from dataclasses import dataclass
+
+from repro.model import GENERIC_NODE_ID, GenericNode
+from repro.statemachine import Message
+
+
+@dataclass
+class Probe(Message):
+    target: int
+
+
+def test_default_identity():
+    assert GenericNode().node_id == GENERIC_NODE_ID
+
+
+def test_no_templates_no_messages():
+    assert GenericNode().possible_messages([1, 2]) == []
+
+
+def test_templates_generate_per_target():
+    node = GenericNode()
+    node.add_template(lambda target: Probe(target=target))
+    messages = node.possible_messages([1, 2])
+    assert [(src, dst) for src, dst, _ in messages] == [
+        (GENERIC_NODE_ID, 1), (GENERIC_NODE_ID, 2),
+    ]
+    assert messages[0][2].target == 1
+
+
+def test_template_returning_none_skipped():
+    node = GenericNode()
+    node.add_template(lambda target: Probe(target=target) if target != 2 else None)
+    messages = node.possible_messages([1, 2, 3])
+    assert [dst for _, dst, _ in messages] == [1, 3]
+
+
+def test_multiple_templates_compose():
+    node = GenericNode(node_id=-7)
+    node.add_template(lambda t: Probe(target=t))
+    node.add_template(lambda t: Probe(target=t + 100))
+    messages = node.possible_messages([5])
+    assert len(messages) == 2
+    assert all(src == -7 for src, _, _ in messages)

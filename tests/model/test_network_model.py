@@ -1,0 +1,100 @@
+"""Predictive network model: observation, queries, merging."""
+
+import pytest
+
+from repro.model import NetworkModel
+from repro.net import full_mesh
+
+
+def test_defaults_when_unknown():
+    model = NetworkModel(default_latency=0.1, default_bandwidth=1e6, default_loss=0.01)
+    assert model.latency(0, 1) == 0.1
+    assert model.bandwidth(0, 1) == 1e6
+    assert model.loss(0, 1) == 0.01
+
+
+def test_self_latency_zero():
+    assert NetworkModel().latency(3, 3) == 0.0
+
+
+def test_first_observation_taken_verbatim():
+    model = NetworkModel()
+    model.observe_latency(0, 1, 0.2, now=1.0)
+    assert model.latency(0, 1) == 0.2
+
+
+def test_ewma_moves_toward_new_samples():
+    model = NetworkModel()
+    model.observe_latency(0, 1, 0.1, now=1.0)
+    model.observe_latency(0, 1, 0.3, now=2.0)
+    assert 0.1 < model.latency(0, 1) < 0.3
+
+
+def test_rtt_sums_both_directions():
+    model = NetworkModel()
+    model.observe_latency(0, 1, 0.1, now=0.0)
+    model.observe_latency(1, 0, 0.3, now=0.0)
+    assert model.rtt(0, 1) == pytest.approx(0.4)
+
+
+def test_observe_rtt_splits_symmetrically():
+    model = NetworkModel()
+    model.observe_rtt(0, 1, 0.4, now=0.0)
+    assert model.latency(0, 1) == pytest.approx(0.2)
+    assert model.latency(1, 0) == pytest.approx(0.2)
+
+
+def test_transfer_time_uses_bandwidth():
+    model = NetworkModel()
+    model.observe_latency(0, 1, 0.1, now=0.0)
+    model.observe_bandwidth(0, 1, 8e6, now=0.0)
+    assert model.transfer_time(0, 1, 1000) == pytest.approx(0.101)
+
+
+def test_confidence_zero_when_never_observed():
+    assert NetworkModel().confidence(0, 1, now=5.0) == 0.0
+
+
+def test_confidence_decays_with_age():
+    model = NetworkModel()
+    model.observe_latency(0, 1, 0.1, now=0.0)
+    fresh = model.confidence(0, 1, now=0.0)
+    stale = model.confidence(0, 1, now=100.0)
+    assert stale < fresh
+
+
+def test_bootstrap_from_topology_matches_ground_truth():
+    topo = full_mesh(3, latency=0.07, bandwidth=5e6)
+    model = NetworkModel()
+    model.bootstrap_from_topology(topo)
+    assert model.latency(0, 2) == pytest.approx(0.07)
+    assert model.bandwidth(1, 2) == pytest.approx(5e6)
+
+
+def test_merge_adopts_fresher_estimates():
+    mine = NetworkModel()
+    theirs = NetworkModel()
+    mine.observe_latency(0, 1, 0.1, now=1.0)
+    theirs.observe_latency(0, 1, 0.9, now=5.0)
+    theirs.observe_latency(2, 3, 0.2, now=2.0)
+    mine.merge(theirs)
+    assert mine.latency(0, 1) == 0.9  # theirs was fresher
+    assert mine.latency(2, 3) == 0.2  # new pair adopted
+
+
+def test_merge_keeps_fresher_local():
+    mine = NetworkModel()
+    theirs = NetworkModel()
+    mine.observe_latency(0, 1, 0.1, now=9.0)
+    theirs.observe_latency(0, 1, 0.9, now=5.0)
+    mine.merge(theirs)
+    assert mine.latency(0, 1) == 0.1
+
+
+def test_merge_copies_do_not_alias():
+    mine = NetworkModel()
+    theirs = NetworkModel()
+    theirs.observe_latency(0, 1, 0.5, now=1.0)
+    mine.merge(theirs)
+    theirs.observe_latency(0, 1, 0.9, now=2.0)
+    assert mine.latency(0, 1) == 0.5

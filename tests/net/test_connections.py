@@ -1,0 +1,76 @@
+"""TCP-like connection breaking (the steering primitive)."""
+
+from repro.net import Network, full_mesh
+from repro.sim import LivenessRegistry, Simulator
+
+
+def make_net(n=3, latency=0.5):
+    sim = Simulator(seed=5)
+    net = Network(sim, full_mesh(n, latency=latency), LivenessRegistry())
+    inboxes = {i: [] for i in range(n)}
+    broken = {i: [] for i in range(n)}
+    for i in range(n):
+        net.attach(
+            i,
+            lambda src, dst, payload, i=i: inboxes[i].append(payload),
+            lambda peer, i=i: broken[i].append(peer),
+        )
+    return sim, net, inboxes, broken
+
+
+def test_break_drops_inflight_messages():
+    sim, net, inboxes, _ = make_net(latency=1.0)
+    net.send(0, 1, "doomed")
+    net.break_connection(0, 1)
+    sim.run()
+    assert inboxes[1] == []
+
+
+def test_break_notifies_both_endpoints():
+    sim, net, _, broken = make_net()
+    net.break_connection(0, 1)
+    assert broken[0] == [1]
+    assert broken[1] == [0]
+
+
+def test_break_does_not_notify_down_endpoint():
+    sim, net, _, broken = make_net()
+    net.liveness.fail(1)
+    net.break_connection(0, 1)
+    assert broken[0] == [1]
+    assert broken[1] == []
+
+
+def test_send_after_break_uses_fresh_connection():
+    sim, net, inboxes, _ = make_net(latency=0.1)
+    net.break_connection(0, 1)
+    net.send(0, 1, "fresh")
+    sim.run()
+    assert inboxes[1] == ["fresh"]
+
+
+def test_connection_epoch_counts_breaks():
+    sim, net, _, _ = make_net()
+    assert net.connection_epoch(0, 1) == 0
+    net.break_connection(0, 1)
+    net.break_connection(1, 0)  # same pair, either order
+    assert net.connection_epoch(0, 1) == 2
+
+
+def test_break_is_pairwise_only():
+    sim, net, inboxes, _ = make_net(latency=1.0)
+    net.send(0, 1, "a")
+    net.send(0, 2, "b")
+    net.break_connection(0, 1)
+    sim.run()
+    assert inboxes[1] == []
+    assert inboxes[2] == ["b"]
+
+
+def test_unreliable_messages_survive_break():
+    # Datagram traffic has no connection to break.
+    sim, net, inboxes, _ = make_net(latency=1.0)
+    net.send(0, 1, "dgram", reliable=False)
+    net.break_connection(0, 1)
+    sim.run()
+    assert inboxes[1] == ["dgram"]

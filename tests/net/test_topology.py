@@ -1,0 +1,104 @@
+"""Topology builders and lookup semantics."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    Link,
+    Topology,
+    TopologyError,
+    full_mesh,
+    random_uniform,
+    star,
+    transit_stub,
+)
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(TopologyError):
+        Topology(0)
+
+
+def test_unknown_pair_without_default_raises():
+    topo = Topology(3)
+    with pytest.raises(TopologyError):
+        topo.link(0, 1)
+
+
+def test_out_of_range_node_rejected():
+    topo = Topology(3)
+    with pytest.raises(TopologyError):
+        topo.link(0, 3)
+
+
+def test_self_link_is_loopback():
+    topo = Topology(3, default=Link(latency=0.5))
+    assert topo.latency(1, 1) == 0.0
+
+
+def test_set_symmetric_installs_both_directions():
+    topo = Topology(3)
+    topo.set_symmetric(0, 1, Link(latency=0.2))
+    assert topo.latency(0, 1) == topo.latency(1, 0) == 0.2
+
+
+def test_explicit_link_overrides_default():
+    topo = Topology(3, default=Link(latency=0.5))
+    topo.set_link(0, 1, Link(latency=0.1))
+    assert topo.latency(0, 1) == 0.1
+    assert topo.latency(1, 0) == 0.5
+
+
+def test_full_mesh_uniform():
+    topo = full_mesh(4, latency=0.03)
+    for i in range(4):
+        for j in range(4):
+            expected = 0.0 if i == j else 0.03
+            assert topo.latency(i, j) == expected
+
+
+def test_star_spoke_to_spoke_doubles():
+    topo = star(4, center=0, spoke_latency=0.02)
+    assert topo.latency(0, 1) == pytest.approx(0.02)
+    assert topo.latency(1, 2) == pytest.approx(0.04)
+
+
+def test_random_uniform_within_bounds():
+    topo = random_uniform(6, random.Random(1), latency_range=(0.01, 0.02))
+    for i in range(6):
+        for j in range(6):
+            if i != j:
+                assert 0.01 <= topo.latency(i, j) <= 0.02
+
+
+def test_random_uniform_symmetric():
+    topo = random_uniform(5, random.Random(2))
+    for i in range(5):
+        for j in range(5):
+            assert topo.latency(i, j) == topo.latency(j, i)
+
+
+def test_transit_stub_deterministic_per_seed():
+    a = transit_stub(8, random.Random(3))
+    b = transit_stub(8, random.Random(3))
+    for i in range(8):
+        for j in range(8):
+            assert a.latency(i, j) == b.latency(i, j)
+
+
+def test_transit_stub_triangle_structure():
+    # Same-transit pairs should generally be faster than cross-transit
+    # pairs; check the extremes are ordered sensibly.
+    topo = transit_stub(16, random.Random(4), n_transit=2,
+                        transit_latency_range=(0.2, 0.3))
+    latencies = sorted(
+        topo.latency(i, j) for i in range(16) for j in range(i + 1, 16)
+    )
+    assert latencies[0] < 0.1          # some intra-transit pair is fast
+    assert latencies[-1] > 0.2          # some cross-transit pair pays the core
+
+
+def test_transit_stub_requires_transit_nodes():
+    with pytest.raises(TopologyError):
+        transit_stub(4, random.Random(0), n_transit=0)

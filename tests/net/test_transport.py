@@ -1,0 +1,136 @@
+"""Network transport: delivery, ordering, loss, failures, partitions."""
+
+import pytest
+
+from repro.net import Link, Network, Topology, TransportError, full_mesh
+from repro.sim import LivenessRegistry, Simulator
+
+
+def make_net(n=3, latency=0.05, loss=0.0, bandwidth=10e6):
+    sim = Simulator(seed=11)
+    liveness = LivenessRegistry()
+    net = Network(sim, full_mesh(n, latency=latency, bandwidth=bandwidth, loss=loss), liveness)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        net.attach(i, lambda src, dst, payload, i=i: inboxes[i].append((src, payload)))
+    return sim, net, inboxes
+
+
+def test_basic_delivery():
+    sim, net, inboxes = make_net()
+    net.send(0, 1, "hello")
+    sim.run()
+    assert inboxes[1] == [(0, "hello")]
+
+
+def test_delivery_time_includes_latency_and_tx():
+    sim, net, inboxes = make_net(latency=0.1, bandwidth=8e6)
+    times = []
+    net.attach(1, lambda src, dst, payload: times.append(sim.now))
+    net.send(0, 1, "x", size_bytes=1000)
+    sim.run()
+    assert times[0] == pytest.approx(0.1 + 0.001)
+
+
+def test_unattached_source_rejected():
+    sim, net, _ = make_net(2)
+    with pytest.raises(TransportError):
+        net.send(9, 0, "x")
+
+
+def test_reliable_in_order_per_pair():
+    sim, net, inboxes = make_net()
+    for i in range(5):
+        net.send(0, 1, i)
+    sim.run()
+    assert [payload for _, payload in inboxes[1]] == [0, 1, 2, 3, 4]
+
+
+def test_down_source_drops():
+    sim, net, inboxes = make_net()
+    net.liveness.fail(0)
+    assert net.send(0, 1, "x") is False
+    sim.run()
+    assert inboxes[1] == []
+    assert net.messages_dropped == 1
+
+
+def test_down_destination_drops_at_delivery():
+    sim, net, inboxes = make_net()
+    net.send(0, 1, "x")
+    net.liveness.fail(1)
+    sim.run()
+    assert inboxes[1] == []
+
+
+def test_destination_recovering_before_arrival_receives():
+    sim, net, inboxes = make_net(latency=1.0)
+    net.liveness.fail(1)
+    net.send(0, 1, "x")
+    sim.schedule(0.5, lambda: net.liveness.recover(1))
+    sim.run()
+    assert inboxes[1] == [(0, "x")]
+
+
+def test_partition_blocks_cross_group():
+    sim, net, inboxes = make_net()
+    net.set_partition([{0}, {1, 2}])
+    assert net.send(0, 1, "x") is False
+    assert net.send(1, 2, "y") is True
+    sim.run()
+    assert inboxes[1] == []
+    assert inboxes[2] == [(1, "y")]
+
+
+def test_partition_heals():
+    sim, net, inboxes = make_net()
+    net.set_partition([{0}, {1}])
+    net.clear_partition()
+    net.send(0, 1, "x")
+    sim.run()
+    assert inboxes[1] == [(0, "x")]
+
+
+def test_unreliable_send_can_drop():
+    sim, net, inboxes = make_net(loss=0.999)
+    delivered = 0
+    for _ in range(20):
+        if net.send(0, 1, "x", reliable=False):
+            delivered += 1
+    sim.run()
+    assert len(inboxes[1]) == delivered
+    assert delivered < 20
+
+
+def test_reliable_send_survives_loss_with_delay():
+    sim, net, inboxes = make_net(loss=0.5)
+    net.send(0, 1, "x")
+    sim.run()
+    assert inboxes[1] == [(0, "x")]
+
+
+def test_counters_track_activity():
+    sim, net, _ = make_net()
+    net.send(0, 1, "a")
+    net.send(0, 2, "b")
+    sim.run()
+    assert net.messages_sent == 2
+    assert net.messages_delivered == 2
+
+
+def test_bandwidth_serializes_back_to_back_sends():
+    sim, net, _ = make_net(latency=0.0, bandwidth=8e3)  # 1 KB/s
+    times = []
+    net.attach(1, lambda src, dst, payload: times.append(sim.now))
+    net.send(0, 1, "a", size_bytes=1000)  # 1s of tx
+    net.send(0, 1, "b", size_bytes=1000)
+    sim.run()
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(2.0)
+
+
+def test_trace_records_send_kind():
+    sim, net, _ = make_net()
+    net.send(0, 1, "payload")
+    records = sim.trace.select("net.send")
+    assert records[0].data["kind"] == "str"

@@ -1,0 +1,85 @@
+"""Property-based transport invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Link, Network, Topology
+from repro.sim import LivenessRegistry, Simulator
+
+
+def build_net(n, latency, bandwidth=10e6, loss=0.0):
+    sim = Simulator(seed=1)
+    topo = Topology(n, default=Link(latency=latency, bandwidth=bandwidth, loss=loss))
+    net = Network(sim, topo, LivenessRegistry())
+    inbox = []
+    for i in range(n):
+        net.attach(i, lambda src, dst, payload: inbox.append((sim.now, src, dst, payload)))
+    return sim, net, inbox
+
+
+@given(
+    messages=st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=30),
+    latency=st.floats(min_value=0.001, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_reliable_fifo_per_pair(messages, latency):
+    """Reliable delivery preserves per-(src, dst) send order."""
+    sim, net, inbox = build_net(3, latency)
+    sequence = {}
+    for src, dst in messages:
+        if src == dst:
+            continue
+        seq = sequence.get((src, dst), 0)
+        sequence[(src, dst)] = seq + 1
+        net.send(src, dst, (src, dst, seq))
+    sim.run()
+    seen = {}
+    for _, src, dst, (psrc, pdst, seq) in inbox:
+        key = (psrc, pdst)
+        assert seq == seen.get(key, 0), "out-of-order delivery"
+        seen[key] = seq + 1
+    assert seen == sequence  # everything delivered exactly once
+
+
+@given(
+    loss=st.floats(min_value=0.0, max_value=0.9),
+    count=st.integers(1, 30),
+)
+@settings(max_examples=30, deadline=None)
+def test_reliable_never_loses(loss, count):
+    sim, net, inbox = build_net(2, latency=0.01, loss=loss)
+    for i in range(count):
+        net.send(0, 1, i)
+    sim.run()
+    assert [p for _, _, _, p in inbox] == list(range(count))
+
+
+@given(sizes=st.lists(st.integers(1, 100_000), min_size=1, max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_arrival_times_monotone_per_pair(sizes):
+    """Bandwidth serialization can only push arrivals later, never earlier."""
+    sim, net, inbox = build_net(2, latency=0.05, bandwidth=1e6)
+    for index, size in enumerate(sizes):
+        net.send(0, 1, index, size_bytes=size)
+    sim.run()
+    times = [t for t, _, _, _ in inbox]
+    assert times == sorted(times)
+    # Total serialization time is at least the sum of tx times.
+    total_tx = sum(size * 8.0 / 1e6 for size in sizes)
+    assert times[-1] >= total_tx
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_partition_is_symmetric_barrier(data):
+    groups = data.draw(st.permutations([0, 1, 2, 3]))
+    left, right = set(groups[:2]), set(groups[2:])
+    sim, net, inbox = build_net(4, latency=0.01)
+    net.set_partition([left, right])
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                net.send(src, dst, (src, dst))
+    sim.run()
+    for _, _, _, (src, dst) in inbox:
+        same_side = (src in left) == (dst in left)
+        assert same_side, f"{src}->{dst} crossed the partition"

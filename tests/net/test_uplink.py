@@ -1,0 +1,62 @@
+"""Per-node uplink capacity (shared outgoing bottleneck)."""
+
+import pytest
+
+from repro.net import Network, TransportError, full_mesh
+from repro.sim import LivenessRegistry, Simulator
+
+
+def make_net(n=3):
+    sim = Simulator(seed=2)
+    net = Network(sim, full_mesh(n, latency=0.0, bandwidth=1e9), LivenessRegistry())
+    times = {i: [] for i in range(n)}
+    for i in range(n):
+        net.attach(i, lambda src, dst, payload, i=i: times[i].append(sim.now))
+    return sim, net, times
+
+
+def test_uplink_serializes_across_destinations():
+    sim, net, times = make_net()
+    net.set_uplink(0, 8e3)  # 1 KB/s
+    net.send(0, 1, "a", size_bytes=1000)
+    net.send(0, 2, "b", size_bytes=1000)
+    sim.run()
+    assert times[1][0] == pytest.approx(1.0)
+    assert times[2][0] == pytest.approx(2.0)
+
+
+def test_without_uplink_destinations_are_parallel():
+    sim, net, times = make_net()
+    net.send(0, 1, "a", size_bytes=1000)
+    net.send(0, 2, "b", size_bytes=1000)
+    sim.run()
+    assert times[1][0] == pytest.approx(times[2][0], abs=1e-5)
+
+
+def test_effective_bandwidth_is_min_of_link_and_uplink():
+    sim, net, times = make_net()
+    net.set_uplink(0, 1e12)  # uplink faster than the 1 Gb/s link
+    net.send(0, 1, "a", size_bytes=125_000_000)  # 1 Gb of data
+    sim.run()
+    assert times[1][0] == pytest.approx(1.0)
+
+
+def test_uplink_query():
+    sim, net, _ = make_net()
+    assert net.uplink(0) is None
+    net.set_uplink(0, 5e6)
+    assert net.uplink(0) == 5e6
+
+
+def test_invalid_uplink_rejected():
+    sim, net, _ = make_net()
+    with pytest.raises(TransportError):
+        net.set_uplink(0, 0)
+
+
+def test_other_nodes_unaffected_by_uplink():
+    sim, net, times = make_net()
+    net.set_uplink(0, 8e3)
+    net.send(1, 2, "c", size_bytes=1000)
+    sim.run()
+    assert times[2][0] < 0.01

@@ -1,0 +1,50 @@
+"""Runtime wire messages: classification and sizes."""
+
+from repro.runtime import (
+    CheckpointMsg,
+    ModelShareMsg,
+    ProbeMsg,
+    ProbeReplyMsg,
+    is_runtime_message,
+)
+from repro.statemachine import Message
+from dataclasses import dataclass
+
+
+@dataclass
+class AppMsg(Message):
+    x: int
+
+
+def test_runtime_messages_classified():
+    assert is_runtime_message(CheckpointMsg(sender=0, epoch=1, taken_at=0.0,
+                                            sent_at=0.0, state={}))
+    assert is_runtime_message(ProbeMsg(sender=0, sent_at=0.0))
+    assert is_runtime_message(ProbeReplyMsg(sender=0, orig_sent_at=0.0))
+    assert is_runtime_message(ModelShareMsg(sender=0))
+
+
+def test_app_messages_not_runtime():
+    assert not is_runtime_message(AppMsg(x=1))
+    assert not is_runtime_message("just a string")
+
+
+def test_checkpoint_size_grows_with_state():
+    small = CheckpointMsg(sender=0, epoch=1, taken_at=0.0, sent_at=0.0,
+                          state={"a": 1})
+    big = CheckpointMsg(sender=0, epoch=1, taken_at=0.0, sent_at=0.0,
+                        state={f"k{i}": list(range(10)) for i in range(20)})
+    assert big.wire_size() > small.wire_size()
+
+
+def test_model_share_size_scales_with_entries():
+    empty = ModelShareMsg(sender=0, entries=[])
+    full = ModelShareMsg(sender=0, entries=[(0, 1, 0.1, 1e6, 0.0, 0.0, 3)] * 50)
+    assert full.wire_size() >= empty.wire_size() + 49 * 48
+
+
+def test_checkpoint_carries_timers():
+    msg = CheckpointMsg(sender=2, epoch=3, taken_at=1.0, sent_at=1.0,
+                        state={}, timers=[("hb", 0.5, None)])
+    assert msg.timers == [("hb", 0.5, None)]
+    assert msg.frozen() == msg.frozen()

@@ -1,0 +1,147 @@
+"""CrystalBall runtime: checkpoint exchange, models, prediction, steering."""
+
+from dataclasses import dataclass
+
+from repro.mc import DeliverAction, SafetyProperty
+from repro.runtime import CheckpointMsg, CrystalBallRuntime, install_crystalball
+from repro.statemachine import Cluster, Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class Bump(Message):
+    amount: int
+
+
+class CounterService(Service):
+    state_fields = ("value",)
+
+    def __init__(self, node_id: int, n: int = 3) -> None:
+        super().__init__(node_id)
+        self.n = n
+        self.value = 0
+
+    def on_init(self) -> None:
+        self.set_timer("bump", 1.0)
+
+    @timer_handler("bump")
+    def on_bump_timer(self, payload) -> None:
+        peer = (self.node_id + 1) % self.n
+        self.send(peer, Bump(amount=1))
+        self.set_timer("bump", 1.0)
+
+    @msg_handler(Bump)
+    def on_bump(self, src: int, msg: Bump) -> None:
+        self.value += msg.amount
+
+
+def factory(node_id):
+    return CounterService(node_id, 3)
+
+
+def make_cluster(**runtime_kwargs):
+    cluster = Cluster(3, factory, seed=3)
+    runtimes = install_crystalball(cluster, factory, **runtime_kwargs)
+    return cluster, runtimes
+
+
+def test_checkpoints_reach_neighbors():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=3.0)
+    for runtime in runtimes:
+        assert set(runtime.state_model.known_nodes()) == {0, 1, 2}
+        assert runtime.stats["checkpoints_received"] > 0
+
+
+def test_checkpoint_messages_hidden_from_service():
+    cluster, _ = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=3.0)
+    assert cluster.sim.trace.count("service.unhandled") == 0
+
+
+def test_passive_latency_measurement():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=3.0)
+    model = runtimes[1].network_model
+    # Full-mesh default latency is 0.05s; measured should be near it.
+    assert 0.01 < model.latency(0, 1) < 0.2
+
+
+def test_probe_measures_rtt():
+    cluster, runtimes = make_cluster(checkpoint_period=0.0)
+    cluster.start_all()
+    runtimes[0].probe(1)
+    cluster.run(until=1.0)
+    assert 0.05 < runtimes[0].network_model.rtt(0, 1) < 0.3
+
+
+def test_current_world_includes_fresh_self():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=2.2)
+    world = runtimes[0].current_world()
+    assert world.state_of(0) == cluster.service(0).checkpoint()
+
+
+def test_current_world_marks_down_nodes():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=2.0)
+    cluster.node(2).crash()
+    world = runtimes[0].current_world()
+    assert 2 in world.down
+
+
+def test_run_prediction_counts_states():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5, chain_depth=2, budget=100)
+    cluster.start_all()
+    cluster.run(until=2.0)
+    report = runtimes[0].run_prediction()
+    assert runtimes[0].stats["predictions"] == 1
+    assert runtimes[0].stats["states_explored"] >= report.total_states
+
+
+def test_steering_installs_filter_and_breaks_connection():
+    # Property: node 0's value must stay below 1 — any Bump delivery to
+    # node 0 violates it, so prediction must install a filter.
+    prop = SafetyProperty(
+        "node0-low",
+        lambda w: w.state_of(0).get("value", 0) < 1 if 0 in w.node_states else True,
+    )
+    cluster = Cluster(3, factory, seed=3)
+    runtimes = install_crystalball(
+        cluster, factory, properties=[prop],
+        checkpoint_period=0.5, prediction_period=0.9, chain_depth=2, budget=300,
+    )
+    cluster.start_all()
+    cluster.run(until=6.0)
+    runtime = runtimes[0]
+    assert runtime.stats["filters_installed"] > 0
+    assert runtime.stats["steered_messages"] > 0
+    assert cluster.service(0).value == 0  # steering kept the property
+    assert cluster.network.connection_epoch(0, 2) > 0  # connection broken
+    assert cluster.sim.trace.count("runtime.steer") > 0
+
+
+def test_no_steering_when_everything_safe():
+    cluster, runtimes = make_cluster(
+        checkpoint_period=0.5, prediction_period=1.0, chain_depth=2, budget=200,
+    )
+    cluster.start_all()
+    cluster.run(until=4.0)
+    assert all(r.stats["filters_installed"] == 0 for r in runtimes)
+
+
+def test_neighbors_default_all_topology_nodes():
+    cluster, runtimes = make_cluster(checkpoint_period=0.0)
+    assert runtimes[0].neighbors() == [1, 2]
+
+
+def test_neighbors_fn_override():
+    cluster = Cluster(3, factory, seed=3)
+    runtime = CrystalBallRuntime(
+        cluster.node(0), factory, neighbors_fn=lambda node: [2],
+    )
+    assert runtime.neighbors() == [2]

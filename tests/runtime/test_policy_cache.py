@@ -1,0 +1,140 @@
+"""PolicyCache and CachedResolver: the fast path off the critical path."""
+
+import pytest
+
+from repro.choice import ChoicePoint, ChoiceResolver
+from repro.runtime import CachedResolver, PolicyCache, scenario_key
+
+
+class CountingResolver(ChoiceResolver):
+    """Returns the last candidate; counts invocations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def resolve(self, point, node=None):
+        self.calls += 1
+        return point.candidates[-1]
+
+
+def point(candidates=(1, 2, 3), label="l"):
+    return ChoicePoint(label=label, candidates=list(candidates), node_id=0)
+
+
+def test_cache_put_get():
+    cache = PolicyCache()
+    cache.put(("k",), "v", now=1.0)
+    assert cache.get(("k",), now=2.0) == (True, "v")
+
+
+def test_cache_miss():
+    cache = PolicyCache()
+    assert cache.get(("nope",), now=0.0) is None
+    assert cache.misses == 1
+
+
+def test_ttl_expiry():
+    cache = PolicyCache(ttl=1.0)
+    cache.put(("k",), "v", now=0.0)
+    assert cache.get(("k",), now=0.5) is not None
+    assert cache.get(("k",), now=2.0) is None
+
+
+def test_lru_eviction():
+    cache = PolicyCache(max_entries=2)
+    cache.put(("a",), 1, now=0.0)
+    cache.put(("b",), 2, now=0.0)
+    cache.get(("a",), now=0.0)  # refresh a
+    cache.put(("c",), 3, now=0.0)  # evicts b
+    assert cache.get(("b",), now=0.0) is None
+    assert cache.get(("a",), now=0.0) is not None
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        PolicyCache(max_entries=0)
+
+
+def test_hit_rate():
+    cache = PolicyCache()
+    cache.put(("k",), "v", now=0.0)
+    cache.get(("k",), now=0.0)
+    cache.get(("x",), now=0.0)
+    assert cache.hit_rate == 0.5
+
+
+def test_invalidate():
+    cache = PolicyCache()
+    cache.put(("k",), "v", now=0.0)
+    cache.invalidate()
+    assert len(cache) == 0
+
+
+def test_cached_resolver_avoids_recompute():
+    inner = CountingResolver()
+    resolver = CachedResolver(inner)
+    assert resolver.resolve(point()) == 3
+    assert resolver.resolve(point()) == 3
+    assert inner.calls == 1
+
+
+def test_cached_resolver_distinguishes_labels():
+    inner = CountingResolver()
+    resolver = CachedResolver(inner)
+    resolver.resolve(point(label="a"))
+    resolver.resolve(point(label="b"))
+    assert inner.calls == 2
+
+
+def test_cached_value_no_longer_candidate_recomputes():
+    inner = CountingResolver()
+    resolver = CachedResolver(inner, key_fn=lambda p, n: (p.label,))
+    assert resolver.resolve(point((1, 2, 3))) == 3
+    # Same key but 3 vanished from candidates: must recompute.
+    assert resolver.resolve(point((1, 2))) == 2
+    assert inner.calls == 2
+
+
+def test_scenario_key_uses_state_digest():
+    class FakeService:
+        def __init__(self, digest):
+            self._digest = digest
+
+        def state_digest(self):
+            return self._digest
+
+    class FakeNode:
+        def __init__(self, digest):
+            self.service = FakeService(digest)
+
+    a = scenario_key(point(), FakeNode("d1"))
+    b = scenario_key(point(), FakeNode("d2"))
+    assert a != b
+    assert scenario_key(point(), FakeNode("d1")) == a
+
+
+def test_cached_resolver_speeds_up_predictive(tick=None):
+    """Integration: cached predictive resolution hits after first call."""
+    from repro.choice import PerformanceObjective
+    from repro.runtime import PredictiveResolver, install_crystalball
+    from repro.statemachine import Cluster
+
+    from .test_resolver import GiverService, factory, weighted_wealth
+
+    cluster = Cluster(3, factory, seed=1)
+    install_crystalball(
+        cluster, factory,
+        objective=PerformanceObjective("wealth", weighted_wealth),
+        checkpoint_period=0.5, chain_depth=2, budget=200,
+        set_resolver=False,
+    )
+    cache = PolicyCache(ttl=100.0)
+    for node in cluster.nodes:
+        node.choice_resolver = CachedResolver(PredictiveResolver(), cache=cache)
+    cluster.start_all()
+    cluster.run(until=6.5)
+    # Same scenario recurs only when node 0's full state digest repeats;
+    # the giver's state never changes (only receivers'), so after the
+    # first resolution the rest are hits.
+    assert cache.hits >= 4
+    assert cluster.service(2).wealth >= 5  # predictive quality retained

@@ -1,0 +1,77 @@
+"""Event filters and the steering module."""
+
+from dataclasses import dataclass
+
+from repro.runtime import EventFilter, SteeringModule
+from repro.statemachine import Message
+from repro.statemachine.serialization import freeze
+
+
+@dataclass
+class Evil(Message):
+    n: int
+
+
+def exact_filter(src=1, msg=None, expires=10.0):
+    msg = msg if msg is not None else Evil(n=1)
+    return EventFilter(
+        src=src, msg_key=freeze(msg), msg_type=None,
+        installed_at=0.0, expires_at=expires, reason="test",
+    )
+
+
+def test_exact_filter_matches_same_payload():
+    module = SteeringModule()
+    module.install(exact_filter())
+    assert module.matches(1, Evil(n=1), now=5.0) is not None
+
+
+def test_exact_filter_rejects_different_payload():
+    module = SteeringModule()
+    module.install(exact_filter())
+    assert module.matches(1, Evil(n=2), now=5.0) is None
+
+
+def test_filter_is_per_source():
+    module = SteeringModule()
+    module.install(exact_filter(src=1))
+    assert module.matches(2, Evil(n=1), now=5.0) is None
+
+
+def test_expired_filter_does_not_match():
+    module = SteeringModule()
+    module.install(exact_filter(expires=1.0))
+    assert module.matches(1, Evil(n=1), now=2.0) is None
+
+
+def test_prune_drops_expired():
+    module = SteeringModule()
+    module.install(exact_filter(expires=1.0))
+    module.prune(now=2.0)
+    assert len(module) == 0
+
+
+def test_type_filter_matches_any_payload():
+    module = SteeringModule()
+    module.install(EventFilter(
+        src=1, msg_key=None, msg_type="Evil",
+        installed_at=0.0, expires_at=10.0,
+    ))
+    assert module.matches(1, Evil(n=1), now=5.0) is not None
+    assert module.matches(1, Evil(n=99), now=5.0) is not None
+
+
+def test_duplicate_install_refreshes_expiry():
+    module = SteeringModule()
+    module.install(exact_filter(expires=5.0))
+    module.install(exact_filter(expires=9.0))
+    assert len(module) == 1
+    assert module.active_filters[0].expires_at == 9.0
+
+
+def test_filtered_count_increments():
+    module = SteeringModule()
+    module.install(exact_filter())
+    module.matches(1, Evil(n=1), now=1.0)
+    module.matches(1, Evil(n=1), now=2.0)
+    assert module.filtered_count == 2

@@ -1,0 +1,86 @@
+"""EventQueue ordering, cancellation, and bookkeeping."""
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+def test_pop_returns_earliest():
+    queue = EventQueue()
+    queue.push(2.0, lambda: None, tag="late")
+    queue.push(1.0, lambda: None, tag="early")
+    time, tag, _ = queue.pop()
+    assert (time, tag) == (1.0, "early")
+
+
+def test_ties_broken_by_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, tag="first")
+    queue.push(1.0, lambda: None, tag="second")
+    assert queue.pop()[1] == "first"
+    assert queue.pop()[1] == "second"
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    handles = [queue.push(float(i), lambda: None) for i in range(3)]
+    assert len(queue) == 3
+    queue.cancel(handles[1])
+    assert len(queue) == 2
+
+
+def test_cancel_returns_true_once():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    assert queue.cancel(handle) is True
+    assert queue.cancel(handle) is False
+
+
+def test_cancelled_event_not_popped():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None, tag="gone")
+    queue.push(2.0, lambda: None, tag="kept")
+    queue.cancel(handle)
+    assert queue.pop()[1] == "kept"
+
+
+def test_cancel_after_pop_returns_false():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.pop()
+    assert queue.cancel(handle) is False
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    queue.cancel(handle)
+    assert queue.peek_time() == 5.0
+
+
+def test_peek_time_empty_is_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_bool_reflects_liveness():
+    queue = EventQueue()
+    assert not queue
+    handle = queue.push(1.0, lambda: None)
+    assert queue
+    queue.cancel(handle)
+    assert not queue
+
+
+def test_callbacks_preserved():
+    queue = EventQueue()
+    fired = []
+    queue.push(1.0, lambda: fired.append("a"))
+    _, _, callback = queue.pop()
+    callback()
+    assert fired == ["a"]

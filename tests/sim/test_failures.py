@@ -1,0 +1,59 @@
+"""LivenessRegistry transitions and observers."""
+
+from repro.sim import LivenessRegistry
+
+
+def test_nodes_up_by_default():
+    assert LivenessRegistry().is_up(5)
+
+
+def test_fail_and_recover():
+    reg = LivenessRegistry()
+    reg.fail(3)
+    assert not reg.is_up(3)
+    reg.recover(3)
+    assert reg.is_up(3)
+
+
+def test_down_nodes_snapshot():
+    reg = LivenessRegistry()
+    reg.fail_many([1, 2])
+    snapshot = reg.down_nodes
+    snapshot.add(99)
+    assert reg.down_nodes == {1, 2}
+
+
+def test_fail_idempotent_no_duplicate_notify():
+    reg = LivenessRegistry()
+    events = []
+    reg.subscribe(lambda node, up: events.append((node, up)))
+    reg.fail(1)
+    reg.fail(1)
+    assert events == [(1, False)]
+
+
+def test_recover_of_up_node_is_silent():
+    reg = LivenessRegistry()
+    events = []
+    reg.subscribe(lambda node, up: events.append((node, up)))
+    reg.recover(1)
+    assert events == []
+
+
+def test_observer_sees_both_transitions():
+    reg = LivenessRegistry()
+    events = []
+    reg.subscribe(lambda node, up: events.append((node, up)))
+    reg.fail(2)
+    reg.recover(2)
+    assert events == [(2, False), (2, True)]
+
+
+def test_fail_many_and_recover_many_ordered():
+    reg = LivenessRegistry()
+    events = []
+    reg.subscribe(lambda node, up: events.append(node))
+    reg.fail_many([3, 1, 2])
+    assert events == [3, 1, 2]
+    reg.recover_many([1, 3])
+    assert reg.down_nodes == {2}

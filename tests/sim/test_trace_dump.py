@@ -1,0 +1,41 @@
+"""Trace JSONL export."""
+
+import json
+
+from repro.sim import TraceLog
+
+
+def seeded_log():
+    log = TraceLog()
+    log.record(0.5, "net.send", node=1, dst=2, kind="Ping")
+    log.record(1.0, "choice.resolve", node=2, label="x", value=(1, 2))
+    log.record(2.0, "runtime.steer", node=2, reason="bad", peers={3, 1})
+    return log
+
+
+def test_dump_all_records(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    count = seeded_log().dump_jsonl(str(path))
+    assert count == 3
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows[0]["category"] == "net.send"
+    assert rows[0]["dst"] == 2
+    assert rows[1]["value"] == [1, 2]       # tuples become lists
+    assert rows[2]["peers"] == [1, 3]       # sets become sorted lists
+
+
+def test_dump_filtered_by_category(tmp_path):
+    path = tmp_path / "net.jsonl"
+    count = seeded_log().dump_jsonl(str(path), category="net")
+    assert count == 1
+    row = json.loads(path.read_text())
+    assert row["category"] == "net.send"
+
+
+def test_dump_handles_odd_values(tmp_path):
+    log = TraceLog()
+    log.record(0.0, "x", obj=object())
+    path = tmp_path / "odd.jsonl"
+    log.dump_jsonl(str(path))
+    row = json.loads(path.read_text())
+    assert "object" in row["obj"]  # repr fallback

@@ -1,0 +1,108 @@
+"""Handler registration: decorators, guards, inheritance, NFA mode."""
+
+from dataclasses import dataclass
+
+from repro.statemachine import Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class A(Message):
+    n: int
+
+
+@dataclass
+class B(Message):
+    n: int
+
+
+class Base(Service):
+    state_fields = ("seen",)
+
+    def __init__(self, node_id=0):
+        super().__init__(node_id)
+        self.seen = []
+
+    @msg_handler(A)
+    def base_a(self, src, msg):
+        self.seen.append("base_a")
+
+    @timer_handler("t")
+    def base_t(self, payload):
+        self.seen.append("base_t")
+
+
+class Derived(Base):
+    @msg_handler(B)
+    def derived_b(self, src, msg):
+        self.seen.append("derived_b")
+
+    @timer_handler("t")
+    def derived_t(self, payload):
+        self.seen.append("derived_t")
+
+
+class MultiHandler(Service):
+    state_fields = ("seen",)
+
+    def __init__(self, node_id=0):
+        super().__init__(node_id)
+        self.seen = []
+
+    @msg_handler(A, guard=lambda svc, src, msg: msg.n > 0)
+    def positive(self, src, msg):
+        self.seen.append("positive")
+
+    @msg_handler(A, guard=lambda svc, src, msg: msg.n <= 0)
+    def non_positive(self, src, msg):
+        self.seen.append("non_positive")
+
+    @msg_handler(A)
+    def always(self, src, msg):
+        self.seen.append("always")
+
+
+def test_base_handlers_collected():
+    service = Base()
+    assert [s.name for s in service.applicable_handlers(0, A(n=1))] == ["base_a"]
+
+
+def test_derived_inherits_message_handlers():
+    service = Derived()
+    assert [s.name for s in service.applicable_handlers(0, A(n=1))] == ["base_a"]
+    assert [s.name for s in service.applicable_handlers(0, B(n=1))] == ["derived_b"]
+
+
+def test_derived_timer_overrides_base():
+    service = Derived()
+    service.fire_timer("t")
+    assert service.seen == ["derived_t"]
+
+
+def test_guards_filter_applicable_handlers():
+    service = MultiHandler()
+    names = [s.name for s in service.applicable_handlers(0, A(n=5))]
+    assert names == ["positive", "always"]
+    names = [s.name for s in service.applicable_handlers(0, A(n=-1))]
+    assert names == ["non_positive", "always"]
+
+
+def test_one_method_can_handle_multiple_types():
+    class Both(Service):
+        state_fields = ("seen",)
+
+        def __init__(self, node_id=0):
+            super().__init__(node_id)
+            self.seen = []
+
+        @msg_handler(A)
+        @msg_handler(B)
+        def either(self, src, msg):
+            self.seen.append(type(msg).__name__)
+
+    service = Both()
+    assert len(service.applicable_handlers(0, A(n=1))) == 1
+    assert len(service.applicable_handlers(0, B(n=1))) == 1
+
+
+def test_timer_names_listed():
+    assert set(Derived().timer_names()) == {"t"}

@@ -1,0 +1,60 @@
+"""Message base class: types, sizes, freezing."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.statemachine import Message
+
+
+@dataclass
+class Small(Message):
+    a: int
+
+
+@dataclass
+class Stringy(Message):
+    text: str
+
+
+@dataclass
+class Bulky(Message):
+    items: List[int] = field(default_factory=list)
+    table: Dict[str, int] = field(default_factory=dict)
+
+
+def test_msg_type_is_class_name():
+    assert Small.msg_type() == "Small"
+    assert Small(a=1).msg_type() == "Small"
+
+
+def test_wire_size_has_header():
+    assert Small(a=1).wire_size() >= 64
+
+
+def test_wire_size_grows_with_strings():
+    assert Stringy(text="x" * 1000).wire_size() > Stringy(text="x").wire_size() + 900
+
+
+def test_wire_size_grows_with_collections():
+    small = Bulky(items=[1], table={})
+    big = Bulky(items=list(range(100)), table={str(i): i for i in range(50)})
+    assert big.wire_size() > small.wire_size()
+
+
+def test_frozen_is_hashable_and_stable():
+    a = Bulky(items=[1, 2], table={"k": 1})
+    b = Bulky(items=[1, 2], table={"k": 1})
+    assert a.frozen() == b.frozen()
+    hash(a.frozen())
+
+
+def test_frozen_distinguishes_content():
+    assert Small(a=1).frozen() != Small(a=2).frozen()
+
+
+def test_frozen_distinguishes_types():
+    @dataclass
+    class Other(Message):
+        a: int
+
+    assert Small(a=1).frozen() != Other(a=1).frozen()

@@ -1,0 +1,42 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("e1", "e3", "e7"):
+        assert exp_id in out
+
+
+def test_e1_prints_table(capsys):
+    assert main(["e1"]) == 0
+    out = capsys.readouterr().out
+    assert "lines of code" in out
+    assert "LoC reduction" in out
+
+
+def test_e6_single_variant(capsys):
+    assert main(["e6", "--variant", "mencius", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "mencius" in out
+    assert "committed=50/50" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["zzz"])
+
+
+def test_e5_setting_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["e5", "--setting", "bogus"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["e3"])
+    assert args.seeds == [1]
+    assert args.variant is None
