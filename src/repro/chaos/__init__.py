@@ -1,0 +1,62 @@
+"""Deterministic adversarial fault injection (the chaos engine).
+
+Layered on the seeded DES: per-link fault interposers (drop, duplicate,
+reorder, corrupt, flap), crash-recovery with state amnesia, slow nodes
+and clock skew, a declarative :class:`FaultPlan` schedule, and an
+opt-in at-least-once reliable-delivery transport.  Every chaos run is a
+pure function of ``(configuration, seed)``.
+"""
+
+from .controller import ChaosController
+from .faults import (
+    ChaosError,
+    CorruptedPayload,
+    FaultDecision,
+    FlapSpec,
+    LinkChaos,
+    LinkFaultProfile,
+    NULL_PROFILE,
+)
+from .plan import (
+    ClockSkewEvent,
+    CrashEvent,
+    FaultEvent,
+    FaultPlan,
+    FlapEvent,
+    LinkFaultEvent,
+    PartitionEvent,
+    SlowNodeEvent,
+    random_fault_plan,
+)
+from .reliable import (
+    AckEnvelope,
+    DataEnvelope,
+    ReliabilityConfig,
+    ReliableLayer,
+    reliable_transport,
+)
+
+__all__ = [
+    "ChaosController",
+    "ChaosError",
+    "CorruptedPayload",
+    "FaultDecision",
+    "FlapSpec",
+    "LinkChaos",
+    "LinkFaultProfile",
+    "NULL_PROFILE",
+    "ClockSkewEvent",
+    "CrashEvent",
+    "FaultEvent",
+    "FaultPlan",
+    "FlapEvent",
+    "LinkFaultEvent",
+    "PartitionEvent",
+    "SlowNodeEvent",
+    "random_fault_plan",
+    "AckEnvelope",
+    "DataEnvelope",
+    "ReliabilityConfig",
+    "ReliableLayer",
+    "reliable_transport",
+]

@@ -1,0 +1,405 @@
+"""Declarative fault schedules: the ``FaultPlan`` DSL.
+
+A :class:`FaultPlan` is a timed list of fault events — partitions that
+heal, flapping links, crashes with or without amnesia, per-link fault
+probabilities, slow nodes, clock skew — that a
+:class:`~repro.chaos.controller.ChaosController` arms against a running
+cluster.  Plans load from plain dicts / JSON (the programmatic path the
+eval harness and benchmarks use) and from a small line-oriented text
+grammar for humans::
+
+    at 5 partition 0,1,2 | 3,4 heal 9
+    at 0 flap 3-7 period 2 duty 0.5 until 20
+    at 4 crash 12 amnesia recover 8
+    at 0 link * drop 0.1 dup 0.05 reorder 0.2 jitter 0.5 corrupt 0.01
+    at 2 slow 3 delay 0.2 until 10
+    at 0 skew 5 offset 1.5
+
+Everything a plan triggers is scheduled on the deterministic simulator
+and all sampling uses named RNG streams, so one ``(plan, seed)`` pair
+always produces the identical trace.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .faults import ChaosError
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Split the network into ``groups`` at ``at``; heal at ``heal_at``."""
+
+    at: float
+    groups: Tuple[Tuple[int, ...], ...]
+    heal_at: Optional[float] = None
+
+    kind = "partition"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at,
+                "groups": [list(g) for g in self.groups], "heal_at": self.heal_at}
+
+
+@dataclass(frozen=True)
+class FlapEvent:
+    """Flap the ``a``–``b`` link: down for ``duty`` of every ``period``."""
+
+    at: float
+    a: int
+    b: int
+    period: float
+    duty: float = 0.5
+    until: Optional[float] = None
+
+    kind = "flap"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "link": [self.a, self.b],
+                "period": self.period, "duty": self.duty, "until": self.until}
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``node`` at ``at``.
+
+    With ``amnesia`` the node recovers from scratch (initial state);
+    without, it recovers from its last persisted checkpoint (losing
+    whatever happened since — the crash-recovery window).  ``recover_at``
+    of ``None`` means the node stays down.
+    """
+
+    at: float
+    node: int
+    amnesia: bool = False
+    recover_at: Optional[float] = None
+
+    kind = "crash"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "node": self.node,
+                "amnesia": self.amnesia, "recover_at": self.recover_at}
+
+
+@dataclass(frozen=True)
+class LinkFaultEvent:
+    """Install per-link fault probabilities at ``at``.
+
+    ``a``/``b`` of ``None`` targets every link (the default profile).
+    Probabilities not given stay zero — an event *replaces* the link's
+    profile rather than patching it.
+    """
+
+    at: float
+    a: Optional[int] = None
+    b: Optional[int] = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_jitter: float = 0.05
+    corrupt: float = 0.0
+
+    kind = "link"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at,
+                "link": None if self.a is None else [self.a, self.b],
+                "drop": self.drop, "duplicate": self.duplicate,
+                "reorder": self.reorder, "reorder_jitter": self.reorder_jitter,
+                "corrupt": self.corrupt}
+
+
+@dataclass(frozen=True)
+class SlowNodeEvent:
+    """Slow ``node`` down by ``delay`` seconds per inbound message."""
+
+    at: float
+    node: int
+    delay: float
+    until: Optional[float] = None
+
+    kind = "slow"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "node": self.node,
+                "delay": self.delay, "until": self.until}
+
+
+@dataclass(frozen=True)
+class ClockSkewEvent:
+    """Skew ``node``'s service-visible clock by ``offset`` seconds."""
+
+    at: float
+    node: int
+    offset: float
+
+    kind = "skew"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "node": self.node,
+                "offset": self.offset}
+
+
+FaultEvent = Union[
+    PartitionEvent, FlapEvent, CrashEvent, LinkFaultEvent, SlowNodeEvent,
+    ClockSkewEvent,
+]
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, named schedule of fault events."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: (e.at, e.kind))
+        for event in self.events:
+            if event.at < 0:
+                raise ChaosError(f"event scheduled before t=0: {event!r}")
+
+    @property
+    def horizon(self) -> float:
+        """Latest timestamp any event in the plan touches."""
+        times = [0.0]
+        for e in self.events:
+            times.append(e.at)
+            for attr in ("heal_at", "recover_at", "until"):
+                value = getattr(e, attr, None)
+                if value is not None:
+                    times.append(value)
+        return max(times)
+
+    # ------------------------------------------------------------------
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "events": [e.to_dict() for e in self.events]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        events = [_event_from_dict(entry) for entry in data.get("events", [])]
+        return cls(events=events, name=data.get("name", ""))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Text grammar
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "FaultPlan":
+        """Parse the line-oriented grammar (see module docstring)."""
+        events: List[FaultEvent] = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                events.append(_parse_line(line))
+            except (ValueError, IndexError, KeyError) as exc:
+                raise ChaosError(f"line {lineno}: cannot parse {line!r}: {exc}") from exc
+        return cls(events=events, name=name)
+
+    def describe(self) -> str:
+        """One line per event, in schedule order."""
+        return "\n".join(f"t={e.at:g} {e.to_dict()}" for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _event_from_dict(entry: Dict[str, Any]) -> FaultEvent:
+    kind = entry.get("kind")
+    at = float(entry["at"])
+    if kind == "partition":
+        return PartitionEvent(
+            at=at,
+            groups=tuple(tuple(int(n) for n in g) for g in entry["groups"]),
+            heal_at=_opt_float(entry.get("heal_at")),
+        )
+    if kind == "flap":
+        a, b = entry["link"]
+        return FlapEvent(at=at, a=int(a), b=int(b), period=float(entry["period"]),
+                         duty=float(entry.get("duty", 0.5)),
+                         until=_opt_float(entry.get("until")))
+    if kind == "crash":
+        return CrashEvent(at=at, node=int(entry["node"]),
+                          amnesia=bool(entry.get("amnesia", False)),
+                          recover_at=_opt_float(entry.get("recover_at")))
+    if kind == "link":
+        link = entry.get("link")
+        a, b = (None, None) if link is None else (int(link[0]), int(link[1]))
+        return LinkFaultEvent(
+            at=at, a=a, b=b,
+            drop=float(entry.get("drop", 0.0)),
+            duplicate=float(entry.get("duplicate", 0.0)),
+            reorder=float(entry.get("reorder", 0.0)),
+            reorder_jitter=float(entry.get("reorder_jitter", 0.05)),
+            corrupt=float(entry.get("corrupt", 0.0)),
+        )
+    if kind == "slow":
+        return SlowNodeEvent(at=at, node=int(entry["node"]),
+                             delay=float(entry["delay"]),
+                             until=_opt_float(entry.get("until")))
+    if kind == "skew":
+        return ClockSkewEvent(at=at, node=int(entry["node"]),
+                              offset=float(entry["offset"]))
+    raise ChaosError(f"unknown fault event kind {kind!r}")
+
+
+def _opt_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _parse_line(line: str) -> FaultEvent:
+    tokens = line.split()
+    if tokens[0] != "at":
+        raise ValueError("event must start with 'at <time>'")
+    at = float(tokens[1])
+    verb = tokens[2]
+    rest = tokens[3:]
+    if verb == "partition":
+        # groups up to optional trailing "heal <t>"
+        heal_at = None
+        if len(rest) >= 2 and rest[-2] == "heal":
+            heal_at = float(rest[-1])
+            rest = rest[:-2]
+        groups = []
+        for group_text in " ".join(rest).split("|"):
+            members = tuple(int(n) for n in group_text.replace(",", " ").split())
+            if members:
+                groups.append(members)
+        if not groups:
+            raise ValueError("partition needs at least one group")
+        return PartitionEvent(at=at, groups=tuple(groups), heal_at=heal_at)
+    if verb == "flap":
+        a, b = (int(n) for n in rest[0].split("-"))
+        opts = _keyword_floats(rest[1:])
+        return FlapEvent(at=at, a=a, b=b, period=opts["period"],
+                         duty=opts.get("duty", 0.5), until=opts.get("until"))
+    if verb == "crash":
+        node = int(rest[0])
+        amnesia = "amnesia" in rest[1:]
+        opts = _keyword_floats([t for t in rest[1:] if t != "amnesia"])
+        return CrashEvent(at=at, node=node, amnesia=amnesia,
+                          recover_at=opts.get("recover"))
+    if verb == "link":
+        target = rest[0]
+        a, b = (None, None) if target == "*" else (int(n) for n in target.split("-"))
+        opts = _keyword_floats(rest[1:])
+        return LinkFaultEvent(
+            at=at, a=a, b=b,
+            drop=opts.get("drop", 0.0), duplicate=opts.get("dup", 0.0),
+            reorder=opts.get("reorder", 0.0),
+            reorder_jitter=opts.get("jitter", 0.05),
+            corrupt=opts.get("corrupt", 0.0),
+        )
+    if verb == "slow":
+        node = int(rest[0])
+        opts = _keyword_floats(rest[1:])
+        return SlowNodeEvent(at=at, node=node, delay=opts["delay"],
+                             until=opts.get("until"))
+    if verb == "skew":
+        node = int(rest[0])
+        opts = _keyword_floats(rest[1:])
+        return ClockSkewEvent(at=at, node=node, offset=opts["offset"])
+    raise ValueError(f"unknown verb {verb!r}")
+
+
+def _keyword_floats(tokens: List[str]) -> Dict[str, float]:
+    if len(tokens) % 2:
+        raise ValueError(f"dangling keyword in {tokens!r}")
+    return {tokens[i]: float(tokens[i + 1]) for i in range(0, len(tokens), 2)}
+
+
+# ----------------------------------------------------------------------
+# Randomized plan generation (for chaos sweeps)
+# ----------------------------------------------------------------------
+
+
+def random_fault_plan(
+    rng: random.Random,
+    n_nodes: int,
+    duration: float,
+    *,
+    crashes: int = 2,
+    flaps: int = 1,
+    partitions: int = 1,
+    drop: float = 0.05,
+    duplicate: float = 0.03,
+    reorder: float = 0.1,
+    corrupt: float = 0.01,
+    amnesia_prob: float = 0.5,
+    protect: Tuple[int, ...] = (),
+    name: str = "random",
+) -> FaultPlan:
+    """Draw a randomized but fully deterministic plan from ``rng``.
+
+    ``protect`` lists node ids never crashed (e.g. a protocol's root).
+    ``amnesia_prob`` is the chance a crash loses state — set it to 0
+    for protocols whose safety assumes stable storage (Paxos acceptors
+    must not forget promises).  Every partition and crash
+    heals/recovers before ``duration`` so experiments can assert on
+    converged end states.
+    """
+    events: List[FaultEvent] = [
+        LinkFaultEvent(at=0.0, drop=drop, duplicate=duplicate, reorder=reorder,
+                       reorder_jitter=0.2, corrupt=corrupt),
+    ]
+    candidates = [n for n in range(n_nodes) if n not in protect]
+    for _ in range(crashes):
+        node = rng.choice(candidates)
+        at = rng.uniform(0.1 * duration, 0.5 * duration)
+        recover = rng.uniform(at + 0.05 * duration, 0.7 * duration)
+        events.append(CrashEvent(at=at, node=node,
+                                 amnesia=rng.random() < amnesia_prob,
+                                 recover_at=recover))
+    for _ in range(flaps):
+        a, b = rng.sample(range(n_nodes), 2)
+        events.append(FlapEvent(
+            at=rng.uniform(0.0, 0.3 * duration), a=a, b=b,
+            period=rng.uniform(0.5, 2.0), duty=rng.uniform(0.2, 0.6),
+            until=rng.uniform(0.5 * duration, 0.7 * duration),
+        ))
+    for _ in range(partitions):
+        nodes = list(range(n_nodes))
+        rng.shuffle(nodes)
+        cut = rng.randint(1, n_nodes - 1)
+        side_a, side_b = nodes[:cut], nodes[cut:]
+        # Keep protected nodes (e.g. the tree root) on side A so a
+        # majority-side protocol keeps making progress.
+        for p in protect:
+            if p in side_b and len(side_b) > 1:
+                side_b.remove(p)
+                side_a.append(p)
+        at = rng.uniform(0.2 * duration, 0.5 * duration)
+        events.append(PartitionEvent(
+            at=at, groups=(tuple(sorted(side_a)), tuple(sorted(side_b))),
+            heal_at=rng.uniform(at + 0.05 * duration, 0.7 * duration),
+        ))
+    return FaultPlan(events=events, name=name)
+
+
+__all__ = [
+    "PartitionEvent",
+    "FlapEvent",
+    "CrashEvent",
+    "LinkFaultEvent",
+    "SlowNodeEvent",
+    "ClockSkewEvent",
+    "FaultEvent",
+    "FaultPlan",
+    "random_fault_plan",
+]

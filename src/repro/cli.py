@@ -30,6 +30,7 @@ EXPERIMENTS = {
     "e5": "content-distribution next-block strategy crossover",
     "e6": "Paxos proposer choice over a loaded WAN",
     "e7": "consequence-prediction depth/cost sweep",
+    "a7": "safety under chaos (RandTree invariants, Paxos agreement)",
 }
 
 
@@ -117,6 +118,36 @@ def _cmd_e7(args) -> int:
     return 0
 
 
+def _cmd_a7(args) -> int:
+    from .eval import (
+        CHAOS_TREE_VARIANTS,
+        run_chaos_paxos_experiment,
+        run_chaos_tree_experiment,
+        standard_plans,
+    )
+
+    variants = [args.variant] if args.variant else list(CHAOS_TREE_VARIANTS)
+    plans = standard_plans(args.nodes, args.horizon)
+    if args.plan:
+        known = {p.name: p for p in plans}
+        if args.plan not in known:
+            print(f"unknown plan {args.plan!r}; expected one of: "
+                  f"{', '.join(known)}", file=sys.stderr)
+            return 2
+        plans = [known[args.plan]]
+    for variant in variants:
+        for plan in plans:
+            for seed in args.seeds:
+                result = run_chaos_tree_experiment(
+                    variant, seed=seed, n=args.nodes, plan=plan)
+                print(result.summary())
+    if args.paxos:
+        for plan in standard_plans(5, 20.0, amnesia=False):
+            for seed in args.seeds:
+                print(run_chaos_paxos_experiment(seed=seed, plan=plan).summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("e7", help=EXPERIMENTS["e7"])
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
     p.add_argument("--max-depth", type=int, default=6)
+    p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
+    add_common(p)
+    p.add_argument("--nodes", type=int, default=15)
+    p.add_argument("--horizon", type=float, default=10.0)
+    p.add_argument("--plan", default=None,
+                   help="restrict to one standard plan by name")
+    p.add_argument("--paxos", action="store_true",
+                   help="also run the Paxos agreement sweep")
     return parser
 
 
@@ -159,6 +198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "e5": _cmd_e5,
         "e6": _cmd_e6,
         "e7": _cmd_e7,
+        "a7": _cmd_a7,
     }
     return handlers[args.command](args)
 

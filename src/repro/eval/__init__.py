@@ -1,5 +1,17 @@
 """Experiment harness: one runner per experiment in DESIGN.md's index."""
 
+from .chaos_experiment import (
+    CHAOS_TREE_VARIANTS,
+    ChaosPaxosResult,
+    ChaosTreeResult,
+    ReliableJoinComparison,
+    check_randtree_invariants,
+    run_chaos_paxos_experiment,
+    run_chaos_tree_experiment,
+    run_reliable_join_comparison,
+    standard_plans,
+    trace_digest,
+)
 from .churn_experiment import ChurnResult, run_churn_experiment
 
 from .dissemination_experiment import (
@@ -33,6 +45,16 @@ from .tree_experiment import (
 )
 
 __all__ = [
+    "CHAOS_TREE_VARIANTS",
+    "ChaosPaxosResult",
+    "ChaosTreeResult",
+    "ReliableJoinComparison",
+    "check_randtree_invariants",
+    "run_chaos_paxos_experiment",
+    "run_chaos_tree_experiment",
+    "run_reliable_join_comparison",
+    "standard_plans",
+    "trace_digest",
     "ChurnResult",
     "run_churn_experiment",
     "SETTINGS",

@@ -86,21 +86,25 @@ def _build_cluster(
     budget: int,
     checkpoint_period: float,
     runtime_kwargs: Optional[dict] = None,
+    transport_wrapper=None,
 ) -> Cluster:
     if topology is None:
         topology = transit_stub(n, random.Random(seed))
     if variant == "baseline":
         factory = make_baseline_factory(config)
-        return Cluster(n, factory, topology=topology, seed=seed)
+        return Cluster(n, factory, topology=topology, seed=seed,
+                       transport_wrapper=transport_wrapper)
     factory = make_exposed_factory(config)
     if variant == "choice-random":
         cluster = Cluster(
             n, factory, topology=topology, seed=seed,
             resolver_factory=lambda nid: RandomResolver(seed),
+            transport_wrapper=transport_wrapper,
         )
         return cluster
     if variant == "choice-crystalball":
-        cluster = Cluster(n, factory, topology=topology, seed=seed)
+        cluster = Cluster(n, factory, topology=topology, seed=seed,
+                          transport_wrapper=transport_wrapper)
         install_crystalball(
             cluster,
             factory,

@@ -52,6 +52,12 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.liveness = liveness if liveness is not None else LivenessRegistry()
+        # Give the registry a trace and clock so observer failures are
+        # logged with simulated timestamps (see LivenessRegistry._notify).
+        if self.liveness.trace is None:
+            self.liveness.trace = sim.trace
+        if self.liveness.clock is None:
+            self.liveness.clock = lambda: sim.now
         self._endpoints: Dict[int, _Endpoint] = {}
         # TCP-like connection epoch per unordered pair: breaking a
         # connection bumps the epoch, invalidating in-flight messages.
@@ -66,9 +72,15 @@ class Network:
         # In-order delivery per directed pair for reliable traffic.
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         self._partition_groups: Optional[List[Set[int]]] = None
+        # Chaos fault interposers (see repro.chaos.faults): consulted on
+        # every send, they may drop, duplicate, delay, or replace the
+        # payload — the adversarial end of the fault spectrum, layered
+        # on top of the benign link loss model below.
+        self._fault_interposers: List[Any] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
 
     # ------------------------------------------------------------------
@@ -112,6 +124,43 @@ class Network:
         """Heal any installed partition."""
         self._partition_groups = None
 
+    # ------------------------------------------------------------------
+    # Fault interposers
+    # ------------------------------------------------------------------
+
+    def add_fault_interposer(self, interposer: Any) -> None:
+        """Install a fault interposer consulted on every send.
+
+        The interposer's ``apply(src, dst, payload, now)`` returns a
+        ``FaultDecision`` (or ``None`` to leave the send untouched).
+        """
+        self._fault_interposers.append(interposer)
+
+    def remove_fault_interposer(self, interposer: Any) -> None:
+        """Uninstall a previously-added fault interposer."""
+        self._fault_interposers.remove(interposer)
+
+    def _consult_faults(self, src: int, dst: int, payload: Any):
+        """Fold all interposer decisions for one send (first drop wins)."""
+        combined = None
+        for interposer in self._fault_interposers:
+            decision = interposer.apply(src, dst, payload, self.sim.now)
+            if decision is None:
+                continue
+            if decision.drop:
+                return decision
+            if combined is None:
+                combined = decision
+            else:
+                combined.duplicates += decision.duplicates
+                combined.duplicate_delays = tuple(combined.duplicate_delays) + tuple(
+                    decision.duplicate_delays
+                )
+                combined.extra_delay += decision.extra_delay
+                if decision.replace is not None:
+                    combined.replace = decision.replace
+        return combined
+
     def _crosses_partition(self, a: int, b: int) -> bool:
         if self._partition_groups is None:
             return False
@@ -150,6 +199,10 @@ class Network:
         if self._crosses_partition(src, dst):
             self._drop(src, dst, payload, "partition")
             return False
+        fault = self._consult_faults(src, dst, payload)
+        if fault is not None and fault.drop:
+            self._drop(src, dst, payload, fault.reason)
+            return False
 
         link = self.topology.link(src, dst)
         rng = self.sim.rng.stream("net.loss")
@@ -176,10 +229,19 @@ class Network:
         self._busy_until[(src, dst)] = tx_done
         arrival = tx_done + delay
 
-        if reliable:
-            # FIFO in-order delivery per directed pair.
+        displaced = fault is not None and fault.extra_delay > 0.0
+        if displaced:
+            arrival += fault.extra_delay
+        if reliable and not displaced:
+            # FIFO in-order delivery per directed pair.  A chaos-displaced
+            # message deliberately skips the clamp (and leaves the FIFO
+            # watermark alone): reordering *is* the injected fault.
             arrival = max(arrival, self._last_delivery.get((src, dst), 0.0))
             self._last_delivery[(src, dst)] = arrival
+
+        delivered_payload = payload
+        if fault is not None and fault.replace is not None:
+            delivered_payload = fault.replace
 
         epoch = self._conn_epoch.get(_pair(src, dst), 0) if reliable else None
         self.sim.trace.record(
@@ -188,9 +250,17 @@ class Network:
         )
         self.sim.schedule_at(
             arrival,
-            lambda: self._deliver(src, dst, payload, epoch),
+            lambda: self._deliver(src, dst, delivered_payload, epoch),
             tag=f"net.deliver:{src}->{dst}",
         )
+        if fault is not None and fault.duplicates:
+            for extra in fault.duplicate_delays[: fault.duplicates]:
+                self.messages_duplicated += 1
+                self.sim.schedule_at(
+                    arrival + extra,
+                    lambda: self._deliver(src, dst, delivered_payload, epoch),
+                    tag=f"net.deliver-dup:{src}->{dst}",
+                )
         return True
 
     def _deliver(self, src: int, dst: int, payload: Any, epoch: Optional[int]) -> None:

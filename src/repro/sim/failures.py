@@ -10,7 +10,8 @@ transitions.
 
 from __future__ import annotations
 
-from typing import Callable, List, Set
+from collections import Counter
+from typing import Callable, List, Optional, Set
 
 Observer = Callable[[int, bool], None]
 
@@ -19,12 +20,20 @@ class LivenessRegistry:
     """Tracks which node ids are currently up.
 
     Nodes are up by default; :meth:`fail` and :meth:`recover` flip the
-    state and notify observers with ``(node_id, is_up)``.
+    state and notify observers with ``(node_id, is_up)``.  ``trace`` (a
+    :class:`~repro.sim.trace.TraceLog`, attached by the network) is
+    where misbehaving observers are reported; :attr:`crash_counts`
+    records how many times each node has failed, which crash-recovery
+    experiments read to distinguish first boots from re-incarnations.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None) -> None:
         self._down: Set[int] = set()
         self._observers: List[Observer] = []
+        self.trace = trace
+        self.clock: Optional[Callable[[], float]] = None
+        self.crash_counts: Counter = Counter()
+        self.notify_errors = 0
 
     def is_up(self, node_id: int) -> bool:
         """Whether ``node_id`` is currently up."""
@@ -40,6 +49,7 @@ class LivenessRegistry:
         if node_id in self._down:
             return
         self._down.add(node_id)
+        self.crash_counts[node_id] += 1
         self._notify(node_id, False)
 
     def recover(self, node_id: int) -> None:
@@ -63,9 +73,33 @@ class LivenessRegistry:
         """Register a callback invoked as ``observer(node_id, is_up)``."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer: Observer) -> bool:
+        """Remove a previously-subscribed observer.
+
+        Returns whether it was subscribed (removing an unknown observer
+        is a harmless no-op, so teardown paths need no bookkeeping).
+        """
+        try:
+            self._observers.remove(observer)
+            return True
+        except ValueError:
+            return False
+
     def _notify(self, node_id: int, is_up: bool) -> None:
+        # One raising observer (a buggy failure detector) must not wedge
+        # the registry or starve observers registered after it: the
+        # error is traced and notification continues.
         for observer in list(self._observers):
-            observer(node_id, is_up)
+            try:
+                observer(node_id, is_up)
+            except Exception as exc:  # noqa: BLE001 — isolate observers
+                self.notify_errors += 1
+                if self.trace is not None:
+                    now = self.clock() if self.clock is not None else 0.0
+                    self.trace.record(
+                        now, "liveness.observer_error", node=node_id,
+                        is_up=is_up, error=f"{type(exc).__name__}: {exc}",
+                    )
 
     def __repr__(self) -> str:
         return f"LivenessRegistry(down={sorted(self._down)})"

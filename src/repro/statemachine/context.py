@@ -85,7 +85,9 @@ class LiveContext(Context):
         self.node = node
 
     def now(self) -> float:
-        return self.node.sim.now
+        # clock_skew is chaos-injected: the service's view of time can
+        # drift from simulated truth, but scheduling stays exact.
+        return self.node.sim.now + self.node.clock_skew
 
     def send(self, dst: int, msg: Any) -> None:
         self.node.send_out(dst, msg)

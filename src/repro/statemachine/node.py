@@ -99,6 +99,9 @@ class Node:
         self._timer_deadlines: Dict[str, float] = {}
         self._timer_token = 0
         self.started = False
+        # Chaos clock-skew injection: added to the service-visible clock
+        # (ctx.now) only; simulator mechanics are unaffected.
+        self.clock_skew = 0.0
         # Predictive resolvers set capture_dispatch so the node snapshots
         # its state before every dispatch (see DispatchRecord).
         self.capture_dispatch = False
@@ -136,15 +139,24 @@ class Node:
         self.started = False
         self.sim.trace.record(self.sim.now, "node.crash", node=self.node_id)
 
-    def restart(self, fresh_state: bool = True) -> None:
+    def restart(
+        self,
+        fresh_state: bool = True,
+        checkpoint: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Recover a crashed node and re-run ``on_init``.
 
         With ``fresh_state`` (the default, matching crash-stop
         semantics without stable storage) the service state is reset to
-        its post-construction checkpoint before restarting.
+        its post-construction checkpoint before restarting.  Passing an
+        explicit ``checkpoint`` instead models crash-*recovery* with
+        stable storage: the node resumes from that persisted state,
+        losing everything since it was taken (the amnesia window).
         """
         self.network.liveness.recover(self.node_id)
-        if fresh_state:
+        if checkpoint is not None:
+            self.service.restore(checkpoint)
+        elif fresh_state:
             self.service.restore(self._initial_checkpoint)
         self.sim.trace.record(self.sim.now, "node.restart", node=self.node_id)
         self.started = True
@@ -278,6 +290,7 @@ class Cluster:
         topology: Optional[Topology] = None,
         seed: int = 0,
         resolver_factory: Optional[ResolverFactory] = None,
+        transport_wrapper: Optional[Callable[[Network], Any]] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.topology = topology if topology is not None else full_mesh(n)
@@ -285,11 +298,18 @@ class Cluster:
             raise ValueError(f"topology has {self.topology.n} nodes, cluster needs {n}")
         self.liveness = LivenessRegistry()
         self.network = Network(self.sim, self.topology, self.liveness)
+        # Nodes talk through the (optionally wrapped) transport — e.g.
+        # repro.chaos.reliable_transport adds at-least-once delivery —
+        # while self.network stays the raw substrate for fault injection
+        # and statistics.
+        self.transport = (
+            transport_wrapper(self.network) if transport_wrapper else self.network
+        )
         self.nodes: List[Node] = []
         for node_id in range(n):
             resolver = resolver_factory(node_id) if resolver_factory else None
             service = service_factory(node_id)
-            self.nodes.append(Node(node_id, self.sim, self.network, service, resolver))
+            self.nodes.append(Node(node_id, self.sim, self.transport, service, resolver))
 
     def start_all(self, order: Optional[Sequence[int]] = None) -> None:
         """Start every node (in ``order`` if given, else by id)."""

@@ -1,0 +1,161 @@
+"""ChaosController: arming fault plans against a live cluster."""
+
+from dataclasses import dataclass
+
+from repro.chaos import (
+    ChaosController,
+    ClockSkewEvent,
+    CrashEvent,
+    FaultPlan,
+    FlapEvent,
+    LinkFaultEvent,
+    PartitionEvent,
+    SlowNodeEvent,
+)
+from repro.statemachine import Cluster, Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class Tick(Message):
+    k: int
+
+
+class TickerService(Service):
+    """Counts local ticks and peer ticks — state that evolves over time."""
+
+    state_fields = ("count", "heard")
+
+    def __init__(self, node_id: int, n: int = 3) -> None:
+        super().__init__(node_id)
+        self.n = n
+        self.count = 0
+        self.heard = 0
+
+    def on_init(self) -> None:
+        self.set_timer("tick", 0.1)
+
+    @timer_handler("tick")
+    def on_tick(self, payload) -> None:
+        self.count += 1
+        self.send((self.node_id + 1) % self.n, Tick(k=self.count))
+        self.set_timer("tick", 0.1)
+
+    @msg_handler(Tick)
+    def on_peer_tick(self, src: int, msg: Tick) -> None:
+        self.heard += 1
+
+
+def make_cluster(n=3, seed=4):
+    return Cluster(n, lambda nid: TickerService(nid, n), seed=seed)
+
+
+def run_with(plan, n=3, until=5.0, checkpoint_period=0.0):
+    cluster = make_cluster(n=n)
+    controller = ChaosController(cluster, plan,
+                                 checkpoint_period=checkpoint_period)
+    controller.arm()
+    cluster.start_all()
+    cluster.run(until=until)
+    return cluster, controller
+
+
+def test_partition_blocks_then_heals():
+    plan = FaultPlan(events=[
+        PartitionEvent(at=1.0, groups=((0,), (1, 2)), heal_at=2.0),
+    ])
+    cluster, _ = run_with(plan, until=4.0)
+    drops = cluster.sim.trace.select("net.drop")
+    partition_drops = [r for r in drops if r.data.get("reason") == "partition"]
+    assert partition_drops
+    assert all(1.0 <= r.time < 2.0 for r in partition_drops)
+    # Traffic flows again after the heal.
+    assert any(r.time > 2.0 for r in cluster.sim.trace.select("net.deliver"))
+
+
+def test_crash_with_amnesia_recovers_fresh():
+    plan = FaultPlan(events=[
+        CrashEvent(at=1.05, node=1, amnesia=True, recover_at=2.05),
+    ])
+    cluster, _ = run_with(plan, until=2.1)
+    service = cluster.service(1)
+    # ~10 ticks happened before the crash; amnesia wiped them.
+    assert service.count <= 1
+
+
+def test_crash_without_checkpointing_keeps_crash_time_state():
+    # No periodic checkpoints configured: non-amnesia recovery models
+    # perfect stable storage (resume from the crash-time state).
+    plan = FaultPlan(events=[
+        CrashEvent(at=1.05, node=1, amnesia=False, recover_at=2.05),
+    ])
+    cluster, _ = run_with(plan, until=2.1)
+    assert cluster.service(1).count >= 9
+
+
+def test_crash_recovery_restores_last_checkpoint():
+    plan = FaultPlan(events=[
+        CrashEvent(at=2.05, node=1, amnesia=False, recover_at=3.05),
+    ])
+    cluster, controller = run_with(plan, until=3.1, checkpoint_period=1.0)
+    saved = controller.saved_checkpoint(1)
+    assert saved is not None
+    # Recovery rolled back to the t=2.0 checkpoint: the recovered count
+    # matches what was persisted, not the crash-time value.
+    assert cluster.service(1).count == saved["count"]
+
+
+def test_checkpoints_skip_down_nodes():
+    plan = FaultPlan(events=[
+        CrashEvent(at=0.5, node=2, amnesia=False, recover_at=4.5),
+    ])
+    cluster, controller = run_with(plan, until=4.0, checkpoint_period=1.0)
+    assert controller.saved_checkpoint(0) is not None
+    assert controller.saved_checkpoint(2) is None  # down at every tick
+
+
+def test_flap_and_link_profile_installed():
+    plan = FaultPlan(events=[
+        FlapEvent(at=0.0, a=0, b=1, period=1.0, duty=0.5, until=3.0),
+        LinkFaultEvent(at=1.0, drop=0.2),
+    ])
+    cluster, controller = run_with(plan, until=4.0)
+    assert controller.stats()["flap_dropped"] > 0
+    assert controller.stats()["dropped"] > 0
+    assert controller.link_chaos.profile_for(0, 2).drop == 0.2
+
+
+def test_slow_and_skew_events_apply():
+    plan = FaultPlan(events=[
+        SlowNodeEvent(at=0.5, node=1, delay=0.3, until=2.0),
+        ClockSkewEvent(at=1.0, node=2, offset=5.0),
+    ])
+    cluster, controller = run_with(plan, until=3.0)
+    assert cluster.node(2).clock_skew == 5.0
+    # The service-visible clock is skewed; the simulator clock is not.
+    assert cluster.service(2).now() == cluster.sim.now + 5.0
+    assert controller.link_chaos.slow_delay(1) == 0.0  # cleared at until
+
+
+def test_arm_is_idempotent():
+    plan = FaultPlan(events=[
+        CrashEvent(at=1.0, node=1, amnesia=True, recover_at=2.0),
+    ])
+    cluster = make_cluster()
+    controller = ChaosController(cluster, plan)
+    controller.arm()
+    controller.arm()
+    cluster.start_all()
+    cluster.run(until=3.0)
+    # One crash, one recovery — not doubled.
+    assert cluster.sim.trace.count("chaos.crash") == 1
+    assert cluster.sim.trace.count("chaos.recover") == 1
+
+
+def test_crash_of_already_down_node_is_noop():
+    plan = FaultPlan(events=[
+        CrashEvent(at=1.0, node=1, amnesia=True, recover_at=3.0),
+        CrashEvent(at=1.5, node=1, amnesia=True, recover_at=2.0),
+    ])
+    cluster, _ = run_with(plan, until=4.0)
+    assert cluster.sim.trace.count("chaos.crash") == 1
+    assert cluster.node(1).is_up

@@ -1,0 +1,123 @@
+"""FaultPlan DSL: grammar, round-trips, randomized generation."""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    ChaosError,
+    ClockSkewEvent,
+    CrashEvent,
+    FaultPlan,
+    FlapEvent,
+    LinkFaultEvent,
+    PartitionEvent,
+    SlowNodeEvent,
+    random_fault_plan,
+)
+
+GRAMMAR_SAMPLE = """
+# The full grammar, one verb per line.
+at 5 partition 0,1,2 | 3,4 heal 9
+at 0 flap 3-7 period 2 duty 0.5 until 20
+at 4 crash 12 amnesia recover 8
+at 3 crash 9
+at 0 link * drop 0.1 dup 0.05 reorder 0.2 jitter 0.5 corrupt 0.01
+at 1 link 2-6 drop 0.3
+at 2 slow 3 delay 0.2 until 10
+at 0 skew 5 offset 1.5
+"""
+
+
+def test_parse_full_grammar():
+    plan = FaultPlan.parse(GRAMMAR_SAMPLE, name="sample")
+    kinds = sorted(e.kind for e in plan.events)
+    assert kinds == ["crash", "crash", "flap", "link", "link",
+                     "partition", "skew", "slow"]
+    partition = next(e for e in plan.events if isinstance(e, PartitionEvent))
+    assert partition.groups == ((0, 1, 2), (3, 4))
+    assert partition.heal_at == 9.0
+    flap = next(e for e in plan.events if isinstance(e, FlapEvent))
+    assert (flap.a, flap.b, flap.period, flap.until) == (3, 7, 2.0, 20.0)
+    amnesiac = next(e for e in plan.events
+                    if isinstance(e, CrashEvent) and e.amnesia)
+    assert (amnesiac.node, amnesiac.recover_at) == (12, 8.0)
+    durable = next(e for e in plan.events
+                   if isinstance(e, CrashEvent) and not e.amnesia)
+    assert durable.recover_at is None
+    wildcard = next(e for e in plan.events
+                    if isinstance(e, LinkFaultEvent) and e.a is None)
+    assert (wildcard.drop, wildcard.duplicate, wildcard.corrupt) == (0.1, 0.05, 0.01)
+
+
+def test_events_sorted_by_time():
+    plan = FaultPlan.parse(GRAMMAR_SAMPLE)
+    times = [e.at for e in plan.events]
+    assert times == sorted(times)
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(ChaosError, match="line 2"):
+        FaultPlan.parse("at 1 crash 3\nat 2 explode 7")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ChaosError):
+        FaultPlan(events=[CrashEvent(at=-1.0, node=0)])
+
+
+def test_json_round_trip_preserves_plan():
+    plan = FaultPlan.parse(GRAMMAR_SAMPLE, name="sample")
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.name == "sample"
+    assert clone.events == plan.events
+
+
+def test_dict_round_trip_all_event_kinds():
+    plan = FaultPlan(name="every-kind", events=[
+        PartitionEvent(at=1.0, groups=((0,), (1, 2)), heal_at=2.0),
+        FlapEvent(at=0.0, a=0, b=1, period=1.0),
+        CrashEvent(at=1.0, node=2, amnesia=True, recover_at=3.0),
+        LinkFaultEvent(at=0.5, a=0, b=2, drop=0.2),
+        SlowNodeEvent(at=0.0, node=1, delay=0.1, until=4.0),
+        ClockSkewEvent(at=2.0, node=0, offset=-0.5),
+    ])
+    assert FaultPlan.from_dict(plan.to_dict()).events == plan.events
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ChaosError, match="unknown fault event kind"):
+        FaultPlan.from_dict({"events": [{"kind": "meteor", "at": 1.0}]})
+
+
+def test_horizon_covers_heal_and_recovery():
+    plan = FaultPlan(events=[
+        CrashEvent(at=1.0, node=0, recover_at=8.0),
+        PartitionEvent(at=2.0, groups=((0,), (1,)), heal_at=5.0),
+    ])
+    assert plan.horizon == 8.0
+    assert FaultPlan().horizon == 0.0
+
+
+class TestRandomFaultPlan:
+    def test_deterministic_from_rng_seed(self):
+        a = random_fault_plan(random.Random(3), 10, 20.0)
+        b = random_fault_plan(random.Random(3), 10, 20.0)
+        assert a.events == b.events
+
+    def test_protected_nodes_never_crash(self):
+        plan = random_fault_plan(random.Random(1), 8, 20.0, crashes=5,
+                                 protect=(0, 1))
+        for event in plan.events:
+            if isinstance(event, CrashEvent):
+                assert event.node not in (0, 1)
+
+    def test_amnesia_prob_zero_means_stable_storage(self):
+        plan = random_fault_plan(random.Random(1), 8, 20.0, crashes=6,
+                                 amnesia_prob=0.0)
+        assert all(not e.amnesia for e in plan.events
+                   if isinstance(e, CrashEvent))
+
+    def test_everything_heals_before_duration(self):
+        plan = random_fault_plan(random.Random(5), 10, 20.0)
+        assert plan.horizon <= 0.7 * 20.0

@@ -1,0 +1,131 @@
+"""At-least-once delivery layer: ack/retry/dedup over a lossy net."""
+
+import pytest
+
+from repro.chaos import (
+    LinkChaos,
+    LinkFaultProfile,
+    ReliabilityConfig,
+    ReliableLayer,
+)
+from repro.net import Network, full_mesh
+from repro.sim import LivenessRegistry, Simulator
+
+
+def make_layer(n=3, seed=9, config=None, profile=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim, full_mesh(n, latency=0.02), LivenessRegistry())
+    if profile is not None:
+        chaos = LinkChaos(sim)
+        chaos.set_profile(profile)
+        net.add_fault_interposer(chaos)
+    layer = ReliableLayer(net, config)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        layer.attach(i, lambda src, dst, payload, i=i: inboxes[i].append(payload))
+    return sim, net, layer, inboxes
+
+
+def test_config_validated():
+    with pytest.raises(ValueError):
+        ReliabilityConfig(timeout=0.0)
+    with pytest.raises(ValueError):
+        ReliabilityConfig(backoff=0.5)
+    with pytest.raises(ValueError):
+        ReliabilityConfig(max_retries=-1)
+
+
+def test_clean_link_delivers_unwrapped_payload():
+    sim, net, layer, inboxes = make_layer()
+    layer.send(0, 1, "hello")
+    sim.run()
+    assert inboxes[1] == ["hello"]
+    assert layer.stats["acked"] == 1
+    assert layer.pending_count == 0
+
+
+def test_delegates_to_raw_network():
+    sim, net, layer, _ = make_layer()
+    assert layer.liveness is net.liveness
+    assert layer.topology is net.topology
+
+
+def test_unreliable_sends_pass_through_as_datagrams():
+    sim, net, layer, inboxes = make_layer(
+        profile=LinkFaultProfile(drop=0.9))
+    for _ in range(20):
+        layer.send(0, 1, "dgram", reliable=False)
+    sim.run()
+    assert 0 < len(inboxes[1]) < 20          # lossy — no retries
+    assert layer.stats["sent"] == 0          # never entered the protocol
+
+
+def test_all_messages_delivered_under_heavy_loss():
+    sim, net, layer, inboxes = make_layer(
+        profile=LinkFaultProfile(drop=0.3, duplicate=0.1))
+    for k in range(100):
+        layer.send(0, 1, k)
+    sim.run()
+    assert sorted(inboxes[1]) == list(range(100))   # exactly once, in some order
+    assert layer.stats["retransmissions"] > 0
+    assert layer.stats["duplicates_suppressed"] > 0
+
+
+def test_duplicate_copies_suppressed_but_acked():
+    sim, net, layer, inboxes = make_layer(
+        profile=LinkFaultProfile(duplicate=0.99))
+    layer.send(0, 1, "once")
+    sim.run()
+    assert inboxes[1] == ["once"]
+
+
+def test_gives_up_after_max_retries():
+    sim, net, layer, inboxes = make_layer(
+        config=ReliabilityConfig(timeout=0.1, backoff=1.0, max_retries=2),
+        profile=LinkFaultProfile(drop=0.999))
+    layer.send(0, 1, "doomed")
+    sim.run()
+    assert inboxes[1] == []
+    assert layer.stats["gave_up"] == 1
+    assert layer.pending_count == 0
+
+
+def test_sender_crash_abandons_outbox():
+    sim, net, layer, inboxes = make_layer(
+        config=ReliabilityConfig(timeout=0.5),
+        profile=LinkFaultProfile(drop=0.999))
+    layer.send(0, 1, "orphaned")
+    sim.schedule_at(0.25, lambda: net.liveness.fail(0))
+    sim.run(until=3.0)
+    assert layer.pending_count == 0
+    assert sim.trace.count("reliable.abandoned") == 1
+
+
+def test_dedup_survives_receiver_amnesia():
+    # Dedup state lives in the layer (the "NIC"), below the service, so
+    # a recovered node does not re-deliver an already-seen message.
+    sim, net, layer, inboxes = make_layer(
+        config=ReliabilityConfig(timeout=0.3))
+
+    def drop_acks_once():
+        # Force one retransmission window by crashing/recovering the
+        # receiver between the copies.
+        net.liveness.fail(1)
+
+    layer.send(0, 1, "m")
+    sim.schedule_at(0.001, drop_acks_once)
+    sim.schedule_at(0.2, lambda: net.liveness.recover(1))
+    sim.run()
+    assert inboxes[1] == ["m"]
+
+
+def test_deterministic_given_seed():
+    outcomes = []
+    for _ in range(2):
+        sim, net, layer, inboxes = make_layer(
+            seed=13, profile=LinkFaultProfile(drop=0.4))
+        for k in range(30):
+            layer.send(0, 1, k)
+        sim.run()
+        outcomes.append((inboxes[1], dict(layer.stats)))
+    assert outcomes[0] == outcomes[1]

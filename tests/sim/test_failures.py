@@ -57,3 +57,71 @@ def test_fail_many_and_recover_many_ordered():
     assert events == [3, 1, 2]
     reg.recover_many([1, 3])
     assert reg.down_nodes == {2}
+
+
+def test_unsubscribe_stops_notifications():
+    reg = LivenessRegistry()
+    events = []
+    observer = lambda node, up: events.append(node)  # noqa: E731
+    reg.subscribe(observer)
+    reg.fail(1)
+    assert reg.unsubscribe(observer) is True
+    reg.fail(2)
+    assert events == [1]
+
+
+def test_unsubscribe_unknown_observer_is_noop():
+    reg = LivenessRegistry()
+    assert reg.unsubscribe(lambda node, up: None) is False
+
+
+def test_unsubscribe_removes_one_registration():
+    reg = LivenessRegistry()
+    events = []
+    observer = lambda node, up: events.append(node)  # noqa: E731
+    reg.subscribe(observer)
+    reg.subscribe(observer)
+    reg.unsubscribe(observer)
+    reg.fail(1)
+    assert events == [1]  # one registration remains
+
+
+def test_raising_observer_does_not_starve_later_observers():
+    reg = LivenessRegistry()
+    events = []
+
+    def broken(node, up):
+        raise RuntimeError("buggy failure detector")
+
+    reg.subscribe(broken)
+    reg.subscribe(lambda node, up: events.append((node, up)))
+    reg.fail(3)
+    reg.recover(3)
+    assert events == [(3, False), (3, True)]
+    assert reg.notify_errors == 2
+
+
+def test_observer_errors_traced_with_clock():
+    from repro.sim import TraceLog
+
+    reg = LivenessRegistry(trace=TraceLog())
+    reg.clock = lambda: 7.5
+
+    def broken(node, up):
+        raise ValueError("boom")
+
+    reg.subscribe(broken)
+    reg.fail(1)
+    [record] = reg.trace.select("liveness.observer_error")
+    assert record.time == 7.5
+    assert "ValueError: boom" in record.data["error"]
+
+
+def test_crash_counts_distinguish_reincarnations():
+    reg = LivenessRegistry()
+    reg.fail(4)
+    reg.recover(4)
+    reg.fail(4)
+    reg.fail(4)  # idempotent: already down
+    assert reg.crash_counts[4] == 2
+    assert reg.crash_counts[9] == 0
