@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set
 
 from ...choice.objectives import Objective, PerformanceObjective, WeightedObjective
-from ...mc.properties import SafetyProperty, pairwise
+from ...mc.properties import SafetyProperty, all_nodes, pairwise
 from ...statemachine import Message
 
 # ----------------------------------------------------------------------
@@ -258,32 +258,32 @@ def make_balance_objective(config: RandTreeConfig) -> Objective:
     )
 
 
+def child_parent_consistent(a: int, sa: Dict[str, Any], b: int, sb: Dict[str, Any]) -> bool:
+    """If a lists b as a child and b is joined, b must name a as parent."""
+    if b in sa.get("children", []) and sb.get("joined"):
+        return sb.get("parent") == a
+    return True
+
+
+def no_self_loop(nid: int, state: Dict[str, Any]) -> bool:
+    """A node never parents or adopts itself."""
+    return state.get("parent") != nid and nid not in state.get("children", [])
+
+
 def randtree_properties(config: RandTreeConfig) -> List[SafetyProperty]:
-    """Safety properties for RandTree worlds (CrystalBall-style)."""
+    """Safety properties for RandTree worlds (CrystalBall-style).
 
-    def child_parent_consistent(a: int, sa: Dict[str, Any], b: int, sb: Dict[str, Any]) -> bool:
-        # If a lists b as a child and b is joined, b must name a as parent.
-        if b in sa.get("children", []) and sb.get("joined"):
-            return sb.get("parent") == a
-        return True
+    All three are built from the :mod:`repro.mc.properties` combinators
+    so they evaluate incrementally on evolved worlds.
+    """
 
-    def degree_bound(world) -> bool:
-        return all(
-            len(world.state_of(nid).get("children", [])) <= config.max_children
-            for nid in world.live_nodes()
-        )
-
-    def no_self_loops(world) -> bool:
-        for nid in world.live_nodes():
-            state = world.state_of(nid)
-            if state.get("parent") == nid or nid in state.get("children", []):
-                return False
-        return True
+    def within_degree(nid: int, state: Dict[str, Any]) -> bool:
+        return len(state.get("children", [])) <= config.max_children
 
     return [
         pairwise(child_parent_consistent, name="child-parent-consistency"),
-        SafetyProperty(name="degree-bound", predicate=degree_bound),
-        SafetyProperty(name="no-self-loops", predicate=no_self_loops),
+        all_nodes(within_degree, name="degree-bound"),
+        all_nodes(no_self_loop, name="no-self-loops"),
     ]
 
 
@@ -301,5 +301,7 @@ __all__ = [
     "subtree_sizes",
     "make_balance_objective",
     "pending_forward_penalty",
+    "child_parent_consistent",
+    "no_self_loop",
     "randtree_properties",
 ]

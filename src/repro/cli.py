@@ -9,10 +9,13 @@ Usage::
     python -m repro.cli e4 --variant choice-model
     python -m repro.cli e5 --setting abundant --variant baseline-rarest
     python -m repro.cli e6 --variant mencius
+    python -m repro.cli bench p1 --quick
 
 Each experiment id matches DESIGN.md's index and the corresponding
 ``benchmarks/bench_e*.py``; the CLI is the quick interactive way to
-poke at one configuration.
+poke at one configuration.  ``bench <id>`` runs a full benchmark suite
+under pytest and prints where its machine-readable ``BENCH_<ID>.json``
+landed.
 """
 
 from __future__ import annotations
@@ -118,6 +121,34 @@ def _cmd_e7(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import os
+    import subprocess
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    bench_id = args.id.lower()
+    modules = sorted(repo_root.glob(f"benchmarks/bench_{bench_id}*.py"))
+    if not modules:
+        print(f"no benchmark module matches benchmarks/bench_{bench_id}*.py",
+              file=sys.stderr)
+        return 2
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if args.quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    command = [sys.executable, "-m", "pytest", "-q", "-s",
+               *(str(m) for m in modules)]
+    status = subprocess.run(command, cwd=repo_root, env=env).returncode
+    json_path = repo_root / f"BENCH_{bench_id.upper()}.json"
+    if json_path.exists():
+        print(f"results: {json_path}")
+    return status
+
+
 def _cmd_a7(args) -> int:
     from .eval import (
         CHAOS_TREE_VARIANTS,
@@ -176,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("e7", help=EXPERIMENTS["e7"])
     p.add_argument("--seeds", type=int, nargs="+", default=[1])
     p.add_argument("--max-depth", type=int, default=6)
+    p = sub.add_parser(
+        "bench",
+        help="run one benchmark suite and report its BENCH_<ID>.json path",
+    )
+    p.add_argument("id", help="bench id, e.g. e7 or p1 (matches "
+                              "benchmarks/bench_<id>*.py)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced iterations (sets REPRO_BENCH_QUICK=1)")
     p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
     add_common(p)
     p.add_argument("--nodes", type=int, default=15)
@@ -199,6 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "e6": _cmd_e6,
         "e7": _cmd_e7,
         "a7": _cmd_a7,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

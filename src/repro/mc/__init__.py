@@ -27,6 +27,7 @@ from .explorer import (
     ExplorationError,
     ExplorationResult,
     Explorer,
+    ServicePool,
     Violation,
     consumed_event_key,
     created_event_keys,
@@ -55,6 +56,7 @@ __all__ = [
     "ExplorationError",
     "ExplorationResult",
     "Explorer",
+    "ServicePool",
     "Violation",
     "consumed_event_key",
     "created_event_keys",

@@ -15,6 +15,20 @@ from typing import Any, Tuple
 from ..statemachine.serialization import freeze
 
 
+def _memoized_key(action: Any, build) -> Tuple:
+    """Cache an action's key on the (frozen) instance.
+
+    Keys are consulted repeatedly on the prediction hot path (causal
+    frontiers, report indexing, steering dedup); the payload ``freeze``
+    should run once per action object, not once per consultation.
+    """
+    key = getattr(action, "_key", None)
+    if key is None:
+        key = build()
+        object.__setattr__(action, "_key", key)
+    return key
+
+
 @dataclass(frozen=True)
 class DeliverAction:
     """Deliver an in-flight message to a specific handler of ``dst``."""
@@ -26,7 +40,9 @@ class DeliverAction:
 
     def key(self) -> Tuple:
         """Stable identity (used by steering filters and dedup)."""
-        return ("deliver", self.src, self.dst, freeze(self.msg), self.handler)
+        return _memoized_key(
+            self, lambda: ("deliver", self.src, self.dst, freeze(self.msg), self.handler)
+        )
 
     def describe(self) -> str:
         return f"deliver {type(self.msg).__name__} {self.src}->{self.dst} via {self.handler}"
@@ -41,7 +57,9 @@ class TimerAction:
     payload: Any = None
 
     def key(self) -> Tuple:
-        return ("timer", self.node, self.name, freeze(self.payload))
+        return _memoized_key(
+            self, lambda: ("timer", self.node, self.name, freeze(self.payload))
+        )
 
     def describe(self) -> str:
         return f"timer {self.name} at {self.node}"
@@ -56,7 +74,9 @@ class DropAction:
     msg: Any
 
     def key(self) -> Tuple:
-        return ("drop", self.src, self.dst, freeze(self.msg))
+        return _memoized_key(
+            self, lambda: ("drop", self.src, self.dst, freeze(self.msg))
+        )
 
     def describe(self) -> str:
         return f"drop {type(self.msg).__name__} {self.src}->{self.dst}"
@@ -71,7 +91,9 @@ class InjectAction:
     msg: Any
 
     def key(self) -> Tuple:
-        return ("inject", self.src, self.dst, freeze(self.msg))
+        return _memoized_key(
+            self, lambda: ("inject", self.src, self.dst, freeze(self.msg))
+        )
 
     def describe(self) -> str:
         return f"inject {type(self.msg).__name__} {self.src}->{self.dst}"

@@ -13,8 +13,9 @@ predictive choice resolution consume.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..choice.objectives import Objective, SAFETY_PENALTY
 from .actions import Action
@@ -49,55 +50,113 @@ class PredictionReport:
     outcomes: List[ActionOutcome] = field(default_factory=list)
     total_states: int = 0
     budget_exhausted: bool = False
+    _index: Optional[Dict[Tuple, ActionOutcome]] = field(
+        default=None, repr=False, compare=False
+    )
+    _indexed_count: int = field(default=0, repr=False, compare=False)
 
     def unsafe_actions(self) -> List[Action]:
         """Initial actions predicted to lead to a violation."""
         return [o.action for o in self.outcomes if not o.is_safe]
 
     def outcome_for(self, action_key: Tuple) -> Optional[ActionOutcome]:
-        """The outcome whose initial action has the given key."""
-        for outcome in self.outcomes:
-            if outcome.action.key() == action_key:
-                return outcome
-        return None
+        """The outcome whose initial action has the given key.
+
+        O(1) via a lazily-built index, rebuilt whenever outcomes were
+        appended since the last lookup.
+        """
+        if self._index is None or self._indexed_count != len(self.outcomes):
+            self._index = {o.action.key(): o for o in self.outcomes}
+            self._indexed_count = len(self.outcomes)
+        return self._index.get(action_key)
 
 
 class ConsequencePredictor:
-    """Bounded causal-chain exploration from a snapshot world."""
+    """Bounded causal-chain exploration from a snapshot world.
+
+    With ``workers > 1`` the independent initial-action chains fan out
+    over a thread pool, each on its own :meth:`Explorer.spawn` clone
+    (pooled services are not thread-safe).  Merge order and budget
+    accounting are deterministic and byte-identical to serial mode: the
+    outcomes are folded in enabled-action order, and any chain that
+    would have been truncated by the serial running budget is re-run
+    serially with that exact remaining budget.
+    """
 
     def __init__(
         self,
         explorer: Explorer,
         chain_depth: int = 4,
         budget: int = 2_000,
+        workers: int = 1,
     ) -> None:
         if chain_depth < 1:
             raise ValueError(f"chain_depth must be >= 1, got {chain_depth}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.explorer = explorer
         self.chain_depth = chain_depth
         self.budget = budget
+        self.workers = workers
 
     def predict(self, world: WorldState) -> PredictionReport:
         """Explore the causal chains of every enabled action."""
+        # Evaluate the root once up front: its cached verdicts let every
+        # first-level successor check properties incrementally instead
+        # of full-scanning (the verdict itself is not part of the
+        # report, matching the original behavior).
+        self.explorer.check(world)
+        actions = self.explorer.enabled_actions(world)
+        if self.workers > 1 and len(actions) > 1:
+            outcomes = self._explore_parallel(world, actions)
+        else:
+            outcomes = None
         report = PredictionReport()
-        for action in self.explorer.enabled_actions(world):
+        for index, action in enumerate(actions):
             remaining = self.budget - report.total_states
             if remaining <= 0:
                 report.budget_exhausted = True
                 break
-            outcome = self._explore_chain(world, action, remaining)
+            if outcomes is None:
+                outcome = self._explore_chain(self.explorer, world, action, remaining)
+            else:
+                outcome = outcomes[index]
+                if outcome.states >= remaining and remaining < self.budget:
+                    # The serial pass would have truncated this chain:
+                    # replay it with the exact remaining budget (chain
+                    # exploration is deterministic) so both modes agree.
+                    outcome = self._explore_chain(
+                        self.explorer, world, action, remaining
+                    )
             report.outcomes.append(outcome)
             report.total_states += outcome.states
         return report
 
-    def _explore_chain(self, root: WorldState, action: Action, budget: int) -> ActionOutcome:
+    def _explore_parallel(
+        self, world: WorldState, actions: List[Action]
+    ) -> List[ActionOutcome]:
+        """Explore every chain concurrently, each with the full budget
+        (the upper bound of what any serial chain could receive)."""
+
+        def run(action: Action) -> ActionOutcome:
+            return self._explore_chain(
+                self.explorer.spawn(), world, action, self.budget
+            )
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(run, action) for action in actions]
+            return [future.result() for future in futures]
+
+    def _explore_chain(
+        self, explorer: Explorer, root: WorldState, action: Action, budget: int
+    ) -> ActionOutcome:
         outcome = ActionOutcome(action=action)
         # Stack entries: (world, causal frontier of event keys, path, depth).
         stack: List[Tuple[WorldState, Set[Tuple], Tuple[Action, ...], int]] = []
-        for successor in self.explorer.successors(root, action):
+        for successor in explorer.successors(root, action):
             outcome.states += 1
             path = (action,)
-            for name in self.explorer.check(successor):
+            for name in explorer.check(successor):
                 outcome.violations.append(
                     Violation(property_name=name, path=path, world=successor)
                 )
@@ -110,8 +169,11 @@ class ConsequencePredictor:
             if depth >= self.chain_depth or not frontier:
                 outcome.leaf_worlds.append(world)
                 continue
+            # The frontier doubles as the enumeration filter: only
+            # frontier destinations materialize.  The explicit
+            # consumed-key check stays as the causal-semantics guard.
             causal_actions = [
-                a for a in self.explorer.enabled_actions(world)
+                a for a in explorer.enabled_actions(world, only_event_keys=frontier)
                 if consumed_event_key(a) in frontier
             ]
             if not causal_actions:
@@ -119,10 +181,10 @@ class ConsequencePredictor:
                 continue
             for causal in causal_actions:
                 consumed = consumed_event_key(causal)
-                for successor in self.explorer.successors(world, causal):
+                for successor in explorer.successors(world, causal):
                     outcome.states += 1
                     new_path = path + (causal,)
-                    for name in self.explorer.check(successor):
+                    for name in explorer.check(successor):
                         outcome.violations.append(
                             Violation(property_name=name, path=new_path, world=successor)
                         )

@@ -68,6 +68,54 @@ class ExplorationResult:
         return bool(self.violations)
 
 
+class ServicePool:
+    """Per-node service instances reused across materializations.
+
+    The seed hot path re-ran the factory (plus a full ``restore``) once
+    per in-flight message just to list applicable handlers.  The pool
+    runs the factory once per node and re-installs checkpoints via
+    ``restore()`` on every use.  Aliasing rule: ``restore_state``
+    deep-copies, so a pooled instance never holds references into world
+    state dicts — it is exactly as isolated as a fresh instance, as
+    long as services keep all dispatch-mutable state in
+    ``state_fields`` (the same contract checkpointing already demands).
+    """
+
+    def __init__(self, factory: ServiceFactory) -> None:
+        self.factory = factory
+        self._instances: Dict[int, Service] = {}
+        # The state dict an instance currently mirrors, while no caller
+        # may have mutated it since (read-only acquires only).
+        self._clean: Dict[int, Optional[Dict[str, Any]]] = {}
+        self.factory_calls = 0
+        self.restores = 0
+        self.restores_skipped = 0
+
+    def acquire(self, world: WorldState, node_id: int, readonly: bool = False) -> Service:
+        """A service for ``node_id`` restored to its state in ``world``.
+
+        ``readonly`` promises the caller only *reads* the service (e.g.
+        listing applicable handlers — guards must not mutate state, the
+        same contract exploration already demands).  Consecutive
+        acquires against the same state dict then skip the restore;
+        a non-readonly acquire marks the instance dirty.
+        """
+        service = self._instances.get(node_id)
+        if service is None:
+            service = self.factory(node_id)
+            self._instances[node_id] = service
+            self.factory_calls += 1
+        service.ctx = None
+        state = world.state_of(node_id)
+        if self._clean.get(node_id) is state:
+            self.restores_skipped += 1
+        else:
+            service.restore(state)
+            self.restores += 1
+        self._clean[node_id] = state if readonly else None
+        return service
+
+
 class Explorer:
     """Enumerates and applies enabled actions over world states."""
 
@@ -80,6 +128,7 @@ class Explorer:
         generic_node: Optional[object] = None,
         rng_seed: int = 0,
         max_choice_variants: int = 64,
+        service_pooling: bool = True,
     ) -> None:
         self.service_factory = service_factory
         self.properties = list(properties)
@@ -88,13 +137,37 @@ class Explorer:
         self.generic_node = generic_node
         self.rng_seed = rng_seed
         self.max_choice_variants = max_choice_variants
+        self.pool: Optional[ServicePool] = (
+            ServicePool(service_factory) if service_pooling else None
+        )
+
+    def spawn(self) -> "Explorer":
+        """A configuration clone with its own service pool.
+
+        Pooled services are not thread-safe; the parallel predictor
+        gives each worker chain its own spawned explorer.
+        """
+        return Explorer(
+            self.service_factory,
+            properties=self.properties,
+            network_model=self.network_model,
+            include_drops=self.include_drops,
+            generic_node=self.generic_node,
+            rng_seed=self.rng_seed,
+            max_choice_variants=self.max_choice_variants,
+            service_pooling=self.pool is not None,
+        )
 
     # ------------------------------------------------------------------
     # Materialization
     # ------------------------------------------------------------------
 
-    def materialize(self, world: WorldState, node_id: int) -> Service:
+    def materialize(
+        self, world: WorldState, node_id: int, readonly: bool = False
+    ) -> Service:
         """Instantiate the node's service from its checkpoint in ``world``."""
+        if self.pool is not None:
+            return self.pool.acquire(world, node_id, readonly=readonly)
         service = self.service_factory(node_id)
         service.restore(world.state_of(node_id))
         return service
@@ -103,35 +176,68 @@ class Explorer:
     # Enabled actions
     # ------------------------------------------------------------------
 
-    def enabled_actions(self, world: WorldState) -> List[Action]:
-        """All actions possible from ``world``, in deterministic order."""
+    def enabled_actions(
+        self,
+        world: WorldState,
+        only_event_keys: Optional[set] = None,
+    ) -> List[Action]:
+        """All actions possible from ``world``, in deterministic order.
+
+        ``only_event_keys`` restricts enumeration to actions consuming
+        one of the given event keys (message/timer ``key()`` tuples).
+        Consequence prediction passes its causal frontier here so
+        non-frontier destinations never materialize; generic-node
+        injections consume no event and are skipped under a filter.
+        """
         actions: List[Action] = []
         seen_messages = set()
-        for message in world.inflight:
-            key = message.key()
-            if key in seen_messages:
-                continue  # identical duplicates are equivalent to explore once
-            seen_messages.add(key)
-            if not world.is_up(message.dst) or message.dst not in world.node_states:
-                continue
-            service = self.materialize(world, message.dst)
-            for spec in service.applicable_handlers(message.src, message.msg):
-                actions.append(
-                    DeliverAction(src=message.src, dst=message.dst,
-                                  msg=message.msg, handler=spec.name)
-                )
-        for timer in world.timers:
-            if world.is_up(timer.node) and timer.node in world.node_states:
-                actions.append(TimerAction(node=timer.node, name=timer.name, payload=timer.payload))
-        if self.include_drops:
+        # Message and timer keys are structurally disjoint (a message
+        # key is (src, dst:int, payload); a timer key is (node,
+        # name:str, payload)), so the filter splits once and whole
+        # scans are skipped when the frontier has no key of that kind.
+        msg_filter = timer_filter = None
+        if only_event_keys is not None:
+            msg_filter = {k for k in only_event_keys if type(k[1]) is int}
+            timer_filter = only_event_keys - msg_filter
+        # Each destination materializes once per world, shared across
+        # all its in-flight messages (guards must not mutate state).
+        materialized: Dict[int, Service] = {}
+        if msg_filter is None or msg_filter:
+            for message in world.inflight:
+                key = message.key()
+                if key in seen_messages:
+                    continue  # identical duplicates are equivalent to explore once
+                seen_messages.add(key)
+                if msg_filter is not None and key not in msg_filter:
+                    continue
+                if not world.is_up(message.dst) or message.dst not in world.node_states:
+                    continue
+                service = materialized.get(message.dst)
+                if service is None:
+                    service = self.materialize(world, message.dst, readonly=True)
+                    materialized[message.dst] = service
+                for spec in service.applicable_handlers(message.src, message.msg):
+                    actions.append(
+                        DeliverAction(src=message.src, dst=message.dst,
+                                      msg=message.msg, handler=spec.name)
+                    )
+        if timer_filter is None or timer_filter:
+            for timer in world.timers:
+                if timer_filter is not None and timer.key() not in timer_filter:
+                    continue
+                if world.is_up(timer.node) and timer.node in world.node_states:
+                    actions.append(TimerAction(node=timer.node, name=timer.name, payload=timer.payload))
+        if self.include_drops and (msg_filter is None or msg_filter):
             seen_messages.clear()
             for message in world.inflight:
                 key = message.key()
                 if key in seen_messages:
                     continue
                 seen_messages.add(key)
+                if msg_filter is not None and key not in msg_filter:
+                    continue
                 actions.append(DropAction(src=message.src, dst=message.dst, msg=message.msg))
-        if self.generic_node is not None:
+        if self.generic_node is not None and only_event_keys is None:
             for src, dst, msg in self.generic_node.possible_messages(world.live_nodes()):
                 actions.append(InjectAction(src=src, dst=dst, msg=msg))
         return actions
@@ -262,6 +368,8 @@ class Explorer:
             PendingTimer(node=node_id, name=name, payload=payload, delay=delay)
             for name, delay, payload in effects.timers_set
         ]
+        # checkpoint comes from Service.checkpoint(), already a fresh
+        # deep copy nothing else aliases, so the world adopts it as-is.
         return world.evolve(
             node_id=node_id,
             new_state=checkpoint,
@@ -270,6 +378,7 @@ class Explorer:
             remove_timers=remove_timers,
             add_timers=add_timers,
             time_delta=time_delta,
+            copy_state=False,
         )
 
     # ------------------------------------------------------------------
@@ -278,7 +387,12 @@ class Explorer:
 
     def check(self, world: WorldState) -> List[str]:
         """Names of properties violated in ``world``."""
-        return violated_properties(world, self.properties)
+        names = violated_properties(world, self.properties)
+        # Verdicts are cached on the world itself now; successors read
+        # this world's cache, never its ancestry, so the parent link
+        # can go (keeps retained evolve chains bounded).
+        world._prop_parent = None
+        return names
 
     def bfs(
         self,
@@ -324,35 +438,59 @@ class Explorer:
         return result
 
 
+def _message_key_counter(world: WorldState) -> Counter:
+    """Memoized multiset of in-flight message keys for one world.
+
+    Worlds are treated as frozen once exploration reads them (the same
+    contract digesting already relies on), so the counter is computed
+    once per world — it serves as ``after`` for one edge and ``before``
+    for every outgoing edge of that successor.
+    """
+    cached = getattr(world, "_msg_key_counter", None)
+    if cached is None:
+        cached = Counter(m.key() for m in world.inflight)
+        world._msg_key_counter = cached
+    return cached
+
+
+def _timer_key_set(world: WorldState) -> set:
+    """Memoized set of pending-timer keys for one world."""
+    cached = getattr(world, "_timer_key_set", None)
+    if cached is None:
+        cached = {t.key() for t in world.timers}
+        world._timer_key_set = cached
+    return cached
+
+
 def created_event_keys(before: WorldState, after: WorldState) -> set:
     """Keys of messages/timers present in ``after`` but not ``before``.
 
     Used by consequence prediction to follow causal chains: the events
     an action *created* are exactly what its chain may consume next.
     """
-    before_msgs = Counter(m.key() for m in before.inflight)
-    after_msgs = Counter(m.key() for m in after.inflight)
-    created = set((after_msgs - before_msgs).keys())
-    before_timers = {t.key() for t in before.timers}
-    for timer in after.timers:
-        if timer.key() not in before_timers:
-            created.add(timer.key())
+    created = set((_message_key_counter(after) - _message_key_counter(before)).keys())
+    before_timers = _timer_key_set(before)
+    created.update(k for k in _timer_key_set(after) if k not in before_timers)
     return created
 
 
 def consumed_event_key(action: Action) -> Optional[Tuple]:
-    """The event key an action consumes (``None`` for injections)."""
-    from ..statemachine.serialization import freeze
+    """The event key an action consumes (``None`` for injections).
 
+    Derived from the action's memoized ``key()`` (whose last payload
+    component is the frozen message/timer payload), so the payload is
+    frozen at most once per action object.
+    """
     if isinstance(action, (DeliverAction, DropAction)):
-        return (action.src, action.dst, freeze(action.msg))
+        return (action.src, action.dst, action.key()[3])
     if isinstance(action, TimerAction):
-        return (action.node, action.name, freeze(action.payload))
+        return (action.node, action.name, action.key()[3])
     return None
 
 
 __all__ = [
     "Explorer",
+    "ServicePool",
     "ExplorationError",
     "ExplorationResult",
     "Violation",

@@ -62,6 +62,7 @@ class CrystalBallRuntime(InboundInterposer):
         prediction_period: float = 0.0,
         chain_depth: int = 3,
         budget: int = 1_500,
+        prediction_workers: int = 1,
         filter_ttl: float = 10.0,
         steering_enabled: bool = True,
         max_replay_fills: int = 32,
@@ -89,6 +90,9 @@ class CrystalBallRuntime(InboundInterposer):
         self.prediction_period = prediction_period
         self.chain_depth = chain_depth
         self.budget = budget
+        # Fan independent prediction chains over a thread pool (>1);
+        # results are byte-identical to serial mode by construction.
+        self.prediction_workers = prediction_workers
         self.filter_ttl = filter_ttl
         self.steering_enabled = steering_enabled
         self.max_replay_fills = max_replay_fills
@@ -131,6 +135,11 @@ class CrystalBallRuntime(InboundInterposer):
         self.stale_fallback = stale_fallback
         self._last_state_digest: Optional[str] = None
         self._last_broadcast_at = float("-inf")
+        # Reused across prediction passes: the explorer's service pool
+        # amortizes factory runs, and the replay service amortizes the
+        # per-candidate factory in resolve_choice.
+        self._explorer: Optional[Explorer] = None
+        self._replay_service: Optional[Any] = None
 
         self.state_model = StateModel(node.node_id)
         self.steering = SteeringModule()
@@ -418,19 +427,27 @@ class CrystalBallRuntime(InboundInterposer):
         )
 
     def make_explorer(self) -> Explorer:
-        """An explorer configured with this runtime's model and properties."""
-        return Explorer(
-            self.service_factory,
-            properties=self.properties,
-            network_model=self.network_model,
-            generic_node=self.generic_node,
-            rng_seed=self.node.sim.rng.root_seed,
-        )
+        """The explorer configured with this runtime's model and properties.
+
+        One instance is reused across prediction passes so its service
+        pool stays warm (the model/property references it holds are
+        live and track runtime updates).
+        """
+        if self._explorer is None:
+            self._explorer = Explorer(
+                self.service_factory,
+                properties=self.properties,
+                network_model=self.network_model,
+                generic_node=self.generic_node,
+                rng_seed=self.node.sim.rng.root_seed,
+            )
+        return self._explorer
 
     def run_prediction(self) -> PredictionReport:
         """One consequence-prediction pass over the current snapshot."""
         predictor = ConsequencePredictor(
             self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
+            workers=self.prediction_workers,
         )
         world = self.current_world()
         report = predictor.predict(world)
@@ -582,6 +599,7 @@ class CrystalBallRuntime(InboundInterposer):
             return immediate + future
         predictor = ConsequencePredictor(
             self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
+            workers=self.prediction_workers,
         )
         report = predictor.predict(world)
         self.stats["states_explored"] += report.total_states
@@ -598,7 +616,10 @@ class CrystalBallRuntime(InboundInterposer):
         choice; later unscripted choices are filled first-candidate."""
         script = list(dispatch.choices) + [candidate]
         for _ in range(self.max_replay_fills):
-            service = self.service_factory(self.node.node_id)
+            service = self._replay_service
+            if service is None:
+                service = self.service_factory(self.node.node_id)
+                self._replay_service = service
             service.restore(dispatch.checkpoint)
             ctx = SandboxContext(
                 self.node.node_id, now=self.node.sim.now,

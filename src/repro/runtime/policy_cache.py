@@ -15,7 +15,7 @@ expensive predictive one) with the cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..choice.choicepoint import ChoicePoint, ChoiceResolver
 from ..statemachine.serialization import freeze
@@ -45,16 +45,27 @@ class PolicyCache:
         self._entries: "OrderedDict[Tuple, Tuple[Any, float]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
 
     def get(self, key: Tuple, now: float) -> Optional[Tuple[bool, Any]]:
-        """Lookup: returns ``(True, value)`` on a live hit, else ``None``."""
+        """Lookup: returns ``(True, value)`` on a live hit, else ``None``.
+
+        An entry is live while ``stored_at >= now - ttl``: one stored
+        at exactly ``now - ttl`` still hits (comparing the timestamps
+        directly rather than subtracting twice also avoids the
+        floating-point drift of ``now - stored_at > ttl``).
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
         value, stored_at = entry
-        if self.ttl is not None and now - stored_at > self.ttl:
+        if self.ttl is not None and stored_at < now - self.ttl:
+            # Expired: a plain delete — dead entries get no LRU
+            # bookkeeping (no move_to_end before removal).
             del self._entries[key]
+            self.expirations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -67,6 +78,7 @@ class PolicyCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def invalidate(self) -> None:
         """Drop everything (e.g. after a topology change)."""
@@ -80,6 +92,19 @@ class PolicyCache:
         """Fraction of lookups answered from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Observability snapshot of configuration and counters."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "expirations": self.expirations,
+            "evictions": self.evictions,
+        }
 
 
 class CachedResolver(ChoiceResolver):
@@ -109,6 +134,10 @@ class CachedResolver(ChoiceResolver):
         value = self.inner.resolve(point, node)
         self.cache.put(key, value, now)
         return value
+
+    def stats(self) -> Dict[str, Any]:
+        """The wrapped cache's :meth:`PolicyCache.snapshot`."""
+        return self.cache.snapshot()
 
 
 __all__ = ["PolicyCache", "CachedResolver", "scenario_key"]

@@ -81,10 +81,24 @@ def freeze(value: Any) -> Hashable:
     )
 
 
+def encode_frozen(frozen_value: Hashable) -> bytes:
+    """Canonical byte encoding of an already-frozen value.
+
+    This is the single encoder behind every digest in the system
+    (service checkpoints, world states, event keys): digesting anything
+    means ``sha256(encode_frozen(freeze(value)))``.
+    """
+    return repr(frozen_value).encode("utf-8")
+
+
+def digest_of_frozen(frozen_value: Hashable) -> str:
+    """Stable hex digest of an already-frozen value."""
+    return hashlib.sha256(encode_frozen(frozen_value)).hexdigest()[:16]
+
+
 def digest(value: Any) -> str:
     """Stable hex digest of a plain-data value (via :func:`freeze`)."""
-    frozen = freeze(value)
-    return hashlib.sha256(repr(frozen).encode("utf-8")).hexdigest()[:16]
+    return digest_of_frozen(freeze(value))
 
 
 def checkpoint_state(obj: Any, field_names) -> Dict[str, Any]:
@@ -102,6 +116,8 @@ __all__ = [
     "SerializationError",
     "snapshot_value",
     "freeze",
+    "encode_frozen",
+    "digest_of_frozen",
     "digest",
     "checkpoint_state",
     "restore_state",

@@ -1,0 +1,119 @@
+"""The parallel consequence predictor must be invisible: same report,
+same order, same budget accounting as serial mode."""
+
+import pytest
+
+from repro.mc import (
+    ConsequencePredictor,
+    Explorer,
+    InFlightMessage,
+    PendingTimer,
+    world_from_services,
+)
+from repro.mc.actions import DeliverAction
+from repro.mc.properties import all_nodes
+
+from .conftest import Token
+
+
+def _world(factory, n=3):
+    services = [factory(nid) for nid in range(n)]
+    world = world_from_services(services)
+    world.inflight.extend(
+        [
+            InFlightMessage(0, 1, Token(value=1)),
+            InFlightMessage(1, 2, Token(value=1)),
+            InFlightMessage(2, 0, Token(value=2)),
+        ]
+    )
+    world.timers.append(PendingTimer(0, "kick", None, 1.0))
+    return world
+
+
+def _properties():
+    return [all_nodes(lambda nid, s: s.get("total", 0) <= 1, "total-cap")]
+
+
+def _signature(report):
+    return (
+        report.total_states,
+        report.budget_exhausted,
+        [o.action.key() for o in report.outcomes],
+        [o.states for o in report.outcomes],
+        [
+            sorted((v.property_name, tuple(a.key() for a in v.path)) for v in o.violations)
+            for o in report.outcomes
+        ],
+        [sorted(w.digest() for w in o.leaf_worlds) for o in report.outcomes],
+    )
+
+
+def _predict(factory, world, workers, budget=2_000):
+    explorer = Explorer(factory, properties=_properties())
+    predictor = ConsequencePredictor(
+        explorer, chain_depth=3, budget=budget, workers=workers
+    )
+    return predictor.predict(world)
+
+
+def test_parallel_report_identical_to_serial(token_factory):
+    world = _world(token_factory)
+    serial = _predict(token_factory, world, workers=1)
+    parallel = _predict(token_factory, world, workers=4)
+    assert serial.outcomes  # the workload is non-trivial
+    assert any(o.violations for o in serial.outcomes)
+    assert _signature(serial) == _signature(parallel)
+
+
+def test_parallel_agrees_under_tight_budget(token_factory):
+    """When the budget truncates chains, parallel mode re-runs the
+    affected chains with the serial remaining budget — reports match."""
+    world = _world(token_factory)
+    serial = _predict(token_factory, world, workers=1, budget=7)
+    parallel = _predict(token_factory, world, workers=4, budget=7)
+    assert serial.budget_exhausted or serial.total_states <= 7
+    assert _signature(serial) == _signature(parallel)
+
+
+def test_invalid_configuration_rejected(token_factory):
+    explorer = Explorer(token_factory)
+    with pytest.raises(ValueError):
+        ConsequencePredictor(explorer, workers=0)
+    with pytest.raises(ValueError):
+        ConsequencePredictor(explorer, chain_depth=0)
+
+
+def test_outcome_for_indexes_by_action_key(token_factory):
+    world = _world(token_factory)
+    report = _predict(token_factory, world, workers=1)
+    for outcome in report.outcomes:
+        assert report.outcome_for(outcome.action.key()) is outcome
+    assert report.outcome_for(("deliver", 9, 9, None, "nope")) is None
+    # The index tracks later appends.
+    from repro.mc import ActionOutcome
+
+    extra = ActionOutcome(
+        action=DeliverAction(src=9, dst=9, msg=Token(value=0), handler="on_token")
+    )
+    report.outcomes.append(extra)
+    assert report.outcome_for(extra.action.key()) is extra
+
+
+def test_parallel_uses_spawned_explorers(token_factory, monkeypatch):
+    """Worker chains run on explorer clones, never the shared instance."""
+    world = _world(token_factory)
+    explorer = Explorer(token_factory, properties=_properties())
+    predictor = ConsequencePredictor(explorer, chain_depth=3, budget=2_000, workers=4)
+    seen = []
+    original_spawn = Explorer.spawn
+
+    def recording_spawn(self):
+        clone = original_spawn(self)
+        seen.append(clone)
+        return clone
+
+    monkeypatch.setattr(Explorer, "spawn", recording_spawn)
+    predictor.predict(world)
+    assert seen  # parallel mode spawned per-chain explorers
+    assert all(clone is not explorer for clone in seen)
+    assert all(clone.pool is not explorer.pool for clone in seen)

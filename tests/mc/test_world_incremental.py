@@ -1,0 +1,141 @@
+"""The incremental-digest invariant under randomized evolve sequences.
+
+``WorldState.digest()`` is maintained incrementally (cached per-node
+digests pulled lazily across clone-parent links, memoized per-event
+digests); ``recompute_digest()`` rebuilds the same digest from scratch
+with every cache empty.  These tests drive randomized action sequences
+— deliver-like state changes, sends, receives, timer arms/fires, drops,
+down-set changes — digesting worlds in arbitrary interleavings, and
+assert the two always agree.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import InFlightMessage, PendingTimer, WorldState
+
+from .conftest import Token
+
+
+def _initial_world(rng: random.Random) -> WorldState:
+    n = rng.randint(2, 5)
+    states = {
+        nid: {"total": rng.randint(0, 5), "forwards": rng.randint(0, 2)}
+        for nid in range(n)
+    }
+    inflight = [
+        InFlightMessage(rng.randrange(n), rng.randrange(n), Token(value=rng.randint(0, 3)))
+        for _ in range(rng.randint(0, 4))
+    ]
+    timers = [
+        PendingTimer(rng.randrange(n), name, None, 1.0)
+        for name in ("kick", "tick")[: rng.randint(0, 2)]
+    ]
+    return WorldState(node_states=states, inflight=inflight, timers=timers)
+
+
+def _random_step(rng: random.Random, world: WorldState) -> WorldState:
+    n = len(world.node_states)
+    op = rng.choice(("state", "send", "recv", "arm", "fire", "down", "mixed"))
+    if op == "state":
+        nid = rng.randrange(n)
+        return world.evolve(
+            node_id=nid,
+            new_state={"total": rng.randint(0, 99), "forwards": rng.randint(0, 9)},
+        )
+    if op == "send":
+        msg = InFlightMessage(rng.randrange(n), rng.randrange(n), Token(value=rng.randint(0, 3)))
+        return world.evolve(add_inflight=[msg])
+    if op == "recv" and world.inflight:
+        victim = rng.choice(world.inflight)
+        nid = victim.dst if victim.dst < n else 0
+        return world.evolve(
+            node_id=nid,
+            new_state={"total": rng.randint(0, 99), "forwards": 0},
+            remove_inflight=victim,
+        )
+    if op == "arm":
+        return world.evolve(
+            add_timers=[PendingTimer(rng.randrange(n), rng.choice("abc"), None, 0.5)]
+        )
+    if op == "fire" and world.timers:
+        timer = rng.choice(world.timers)
+        return world.evolve(
+            node_id=timer.node if timer.node < n else 0,
+            new_state={"total": rng.randint(0, 99), "forwards": 1},
+            remove_timers=[(timer.node, timer.name)],
+        )
+    if op == "down":
+        return world.with_down(rng.sample(range(n), rng.randint(0, n - 1)))
+    # mixed: state change + send + re-arm in one evolve
+    nid = rng.randrange(n)
+    return world.evolve(
+        node_id=nid,
+        new_state={"total": rng.randint(0, 99), "forwards": 2},
+        add_inflight=[InFlightMessage(nid, (nid + 1) % n, Token(value=7))],
+        add_timers=[PendingTimer(nid, "kick", None, 1.0)],
+    )
+
+
+@given(seed=st.integers(0, 10_000), digest_mask=st.integers(0, 2**16 - 1))
+@settings(max_examples=60, deadline=None)
+def test_incremental_digest_matches_full_recompute(seed, digest_mask):
+    rng = random.Random(seed)
+    world = _initial_world(rng)
+    chain = [world]
+    for step in range(14):
+        world = _random_step(rng, world)
+        chain.append(world)
+        if digest_mask >> step & 1:
+            # Interleave digesting mid-chain: exercises both eagerly
+            # warmed caches and cold parent-pull paths.
+            world.digest()
+    for w in chain:
+        assert w.digest() == w.recompute_digest()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_digest_independent_of_computation_order(seed):
+    """Digesting a chain leaf-first and root-first yields the same values."""
+    rng = random.Random(seed)
+    root = _initial_world(rng)
+    chain = [root]
+    for _ in range(10):
+        chain.append(_random_step(rng, chain[-1]))
+
+    rng2 = random.Random(seed)
+    root2 = _initial_world(rng2)
+    chain2 = [root2]
+    for _ in range(10):
+        chain2.append(_random_step(rng2, chain2[-1]))
+
+    forward = [w.digest() for w in chain]
+    backward = [w.digest() for w in reversed(chain2)][::-1]
+    assert forward == backward
+
+
+def test_changed_node_only_rehashes_that_node():
+    world = WorldState(node_states={0: {"x": 1}, 1: {"x": 2}, 2: {"x": 3}})
+    world.digest()
+    child = world.evolve(node_id=1, new_state={"x": 99})
+    child.digest()
+    # Unchanged nodes were pulled from the parent's cache, not re-frozen.
+    assert child._node_digests[0] == world._node_digests[0]
+    assert child._node_digests[2] == world._node_digests[2]
+    assert child._node_digests[1] != world._node_digests[1]
+
+
+def test_sibling_leaves_share_published_ancestor_digests():
+    """A digest computed by one branch is found by its siblings via the
+    highest ancestor still sharing the state dict."""
+    root = WorldState(node_states={0: {"x": 1}, 1: {"x": 2}})
+    mid = root.evolve(node_id=0, new_state={"x": 5})
+    left = mid.evolve(add_inflight=[InFlightMessage(0, 1, Token(value=1))])
+    right = mid.evolve(add_inflight=[InFlightMessage(1, 0, Token(value=2))])
+    left.digest()  # computes node digests, publishes at `mid`
+    assert 0 in mid._node_digests
+    right.digest()
+    assert right._node_digests[0] == left._node_digests[0]
+    assert right.digest() == right.recompute_digest()

@@ -40,6 +40,62 @@ def test_ttl_expiry():
     assert cache.get(("k",), now=2.0) is None
 
 
+def test_ttl_boundary_entry_still_hits():
+    """An entry stored at exactly ``now - ttl`` is a hit.
+
+    The timestamps are compared directly (``stored_at < now - ttl``):
+    the double-subtraction form ``now - stored_at > ttl`` drifts under
+    floating point (e.g. 0.3 - 0.2 > 0.1) and evicted live entries."""
+    cache = PolicyCache(ttl=0.1)
+    cache.put(("k",), "v", now=0.2)
+    assert cache.get(("k",), now=0.3) == (True, "v")
+    assert cache.expirations == 0
+    # Strictly older than the window does expire.
+    assert cache.get(("k",), now=0.3000001 + 0.1) is None
+    assert cache.expirations == 1
+
+
+def test_expired_entry_deleted_without_lru_bookkeeping():
+    cache = PolicyCache(ttl=1.0, max_entries=4)
+    cache.put(("old",), 1, now=0.0)
+    cache.put(("new",), 2, now=5.0)
+    assert cache.get(("old",), now=5.0) is None
+    assert ("old",) not in cache._entries  # deleted outright
+    assert cache.expirations == 1
+    assert cache.misses == 1
+
+
+def test_snapshot_reports_counters():
+    cache = PolicyCache(ttl=1.0, max_entries=2)
+    cache.put(("a",), 1, now=0.0)
+    cache.put(("b",), 2, now=0.0)
+    cache.put(("c",), 3, now=0.0)  # evicts a
+    cache.get(("b",), now=0.5)  # hit
+    cache.get(("x",), now=0.5)  # miss
+    cache.get(("c",), now=9.0)  # expired
+    snap = cache.snapshot()
+    assert snap == {
+        "entries": 1,
+        "max_entries": 2,
+        "ttl": 1.0,
+        "hits": 1,
+        "misses": 2,
+        "hit_rate": 1 / 3,
+        "expirations": 1,
+        "evictions": 1,
+    }
+
+
+def test_cached_resolver_stats_delegates_to_snapshot():
+    resolver = CachedResolver(CountingResolver())
+    resolver.resolve(point())
+    resolver.resolve(point())
+    stats = resolver.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["entries"] == 1
+
+
 def test_lru_eviction():
     cache = PolicyCache(max_entries=2)
     cache.put(("a",), 1, now=0.0)
