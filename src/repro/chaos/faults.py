@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry, stats_view
+
 
 class ChaosError(Exception):
     """Raised for invalid fault configurations."""
@@ -137,16 +139,17 @@ class LinkChaos:
     every message *toward* them.
     """
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim, metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.default_profile: LinkFaultProfile = NULL_PROFILE
         self._profiles: Dict[Tuple[int, int], LinkFaultProfile] = {}
         self._flaps: List[FlapSpec] = []
         self._slow: Dict[int, float] = {}
-        self.stats: Dict[str, int] = {
-            "dropped": 0, "duplicated": 0, "reordered": 0,
-            "corrupted": 0, "flap_dropped": 0,
-        }
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = stats_view(
+            self.metrics, "chaos",
+            ("dropped", "duplicated", "reordered", "corrupted", "flap_dropped"),
+        )
 
     # ------------------------------------------------------------------
     # Configuration
@@ -195,6 +198,13 @@ class LinkChaos:
 
     def apply(self, src: int, dst: int, payload: Any, now: float) -> Optional[FaultDecision]:
         """Decide the fate of one send; ``None`` means untouched."""
+        with self.metrics.span("chaos.apply", clock=self._sim_clock):
+            return self._apply(src, dst, payload, now)
+
+    def _sim_clock(self) -> float:
+        return self.sim.now
+
+    def _apply(self, src: int, dst: int, payload: Any, now: float) -> Optional[FaultDecision]:
         for flap in self._flaps:
             if _pair(src, dst) == _pair(flap.a, flap.b) and flap.is_down(now):
                 self.stats["flap_dropped"] += 1

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from ..net.transport import DEFAULT_MESSAGE_BYTES
+from ..obs import MetricsRegistry, stats_view
 
 ENVELOPE_OVERHEAD_BYTES = 40
 ACK_SIZE_BYTES = 64
@@ -68,6 +69,9 @@ class _Pending:
     payload: Any
     size_bytes: int
     attempts: int = 0
+    # The live retry/lastwait timer for this send; cancelled on ack so
+    # the simulator queue does not accumulate dead retry events.
+    timer: Optional[Any] = None
 
 
 class ReliableLayer:
@@ -79,16 +83,23 @@ class ReliableLayer:
     through unwrapped.
     """
 
-    def __init__(self, network, config: Optional[ReliabilityConfig] = None) -> None:
+    def __init__(
+        self,
+        network,
+        config: Optional[ReliabilityConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._network = network
         self.config = config if config is not None else ReliabilityConfig()
         self._next_seq: Dict[int, int] = {}
         self._pending: Dict[Tuple[int, int, int], _Pending] = {}
         self._seen: Dict[int, Set[Tuple[int, int]]] = {}
-        self.stats: Dict[str, int] = {
-            "sent": 0, "acked": 0, "retransmissions": 0,
-            "duplicates_suppressed": 0, "gave_up": 0,
-        }
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = stats_view(
+            self.metrics, "reliable",
+            ("sent", "acked", "retransmissions", "duplicates_suppressed",
+             "gave_up"),
+        )
 
     def __getattr__(self, name: str) -> Any:
         # Everything not overridden (liveness, topology, sim, partitions,
@@ -168,13 +179,13 @@ class ReliableLayer:
         )
         if pending.attempts > self.config.max_retries:
             # This was the last shot; if the ack never comes, give up.
-            self._network.sim.schedule(
+            pending.timer = self._network.sim.schedule(
                 self._retry_delay(pending.attempts),
                 lambda: self._give_up(key),
                 tag=f"reliable.lastwait:{src}->{dst}",
             )
             return
-        self._network.sim.schedule(
+        pending.timer = self._network.sim.schedule(
             self._retry_delay(pending.attempts),
             lambda: self._transmit(key),
             tag=f"reliable.retry:{src}->{dst}",
@@ -204,8 +215,14 @@ class ReliableLayer:
         payload: Any,
     ) -> None:
         if isinstance(payload, AckEnvelope):
-            if self._pending.pop((dst, src, payload.seq), None) is not None:
+            acked = self._pending.pop((dst, src, payload.seq), None)
+            if acked is not None:
                 self.stats["acked"] += 1
+                if acked.timer is not None:
+                    # Without this cancel, every acked send leaves one
+                    # dead retry event in the simulator queue.
+                    self._network.sim.cancel(acked.timer)
+                    acked.timer = None
             return
         if isinstance(payload, DataEnvelope):
             # Ack every copy — the first ack may have been lost.

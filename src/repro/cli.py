@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli e5 --setting abundant --variant baseline-rarest
     python -m repro.cli e6 --variant mencius
     python -m repro.cli bench p1 --quick
+    python -m repro.cli report e2 --variant choice-crystalball --seed 1 \\
+        --json RUN_REPORT.json --markdown RUN_REPORT.md
 
 Each experiment id matches DESIGN.md's index and the corresponding
 ``benchmarks/bench_e*.py``; the CLI is the quick interactive way to
@@ -149,6 +151,63 @@ def _cmd_bench(args) -> int:
     return status
 
 
+REPORTABLE = ("e2", "e3", "e4", "e5", "e6", "a7")
+
+
+def _report_result(experiment: str, args):
+    """Run one experiment configuration and return its result object."""
+    if experiment in ("e2", "e3"):
+        from .eval import run_tree_experiment
+
+        variant = args.variant or "choice-crystalball"
+        return variant, run_tree_experiment(variant, seed=args.seed)
+    if experiment == "e4":
+        from .eval import run_gossip_experiment
+
+        variant = args.variant or "choice-model"
+        return variant, run_gossip_experiment(variant, seed=args.seed)
+    if experiment == "e5":
+        from .eval import run_swarm_experiment
+
+        variant = args.variant or "choice-adaptive"
+        return variant, run_swarm_experiment(variant, seed=args.seed)
+    if experiment == "e6":
+        from .eval import run_paxos_experiment
+
+        variant = args.variant or "choice"
+        return variant, run_paxos_experiment(variant, seed=args.seed)
+    if experiment == "a7":
+        from .eval import run_chaos_tree_experiment
+
+        variant = args.variant or "baseline"
+        return variant, run_chaos_tree_experiment(variant, seed=args.seed)
+    raise ValueError(f"unreportable experiment {experiment!r}")
+
+
+def _cmd_report(args) -> int:
+    from .obs import RunReport
+
+    variant, result = _report_result(args.experiment, args)
+    report = RunReport(
+        title=f"{args.experiment}/{variant}",
+        metrics=result.metrics,
+        context={
+            "experiment": args.experiment,
+            "variant": variant,
+            "seed": args.seed,
+            "summary": result.summary(),
+        },
+    )
+    report.write(json_path=args.json, markdown_path=args.markdown)
+    if args.json:
+        print(f"wrote {args.json}")
+    if args.markdown:
+        print(f"wrote {args.markdown}")
+    if not args.json and not args.markdown:
+        print(report.to_markdown(), end="")
+    return 0
+
+
 def _cmd_a7(args) -> int:
     from .eval import (
         CHAOS_TREE_VARIANTS,
@@ -215,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "benchmarks/bench_<id>*.py)")
     p.add_argument("--quick", action="store_true",
                    help="reduced iterations (sets REPRO_BENCH_QUICK=1)")
+    p = sub.add_parser(
+        "report",
+        help="run one experiment and emit its per-node metrics report",
+    )
+    p.add_argument("experiment", choices=REPORTABLE,
+                   help="experiment id to run and report on")
+    p.add_argument("--variant", default=None,
+                   help="variant (default: the CrystalBall-enabled one)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the JSON report here")
+    p.add_argument("--markdown", default=None, metavar="PATH",
+                   help="write the Markdown report here")
     p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
     add_common(p)
     p.add_argument("--nodes", type=int, default=15)
@@ -239,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "e7": _cmd_e7,
         "a7": _cmd_a7,
         "bench": _cmd_bench,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

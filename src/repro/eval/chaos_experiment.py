@@ -47,6 +47,7 @@ from ..chaos import (
     random_fault_plan,
     reliable_transport,
 )
+from ..obs import collect_cluster_metrics
 from ..sim.trace import TraceLog, _jsonable
 from ..statemachine import Cluster
 from .paxos_experiment import agreement_holds, wan_topology
@@ -219,6 +220,7 @@ class ChaosTreeResult:
     trace_digest: str = ""
     chaos_stats: Dict[str, int] = field(default_factory=dict)
     reliable_stats: Optional[Dict[str, int]] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def safe(self) -> bool:
@@ -307,6 +309,7 @@ def run_chaos_tree_experiment(
     result.chaos_stats = controller.stats()
     if reliability is not None:
         result.reliable_stats = dict(cluster.transport.stats)
+    result.metrics = collect_cluster_metrics(cluster)
     return result
 
 
@@ -327,6 +330,7 @@ class ChaosPaxosResult:
     agreement: bool = True
     trace_digest: str = ""
     chaos_stats: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def safe(self) -> bool:
@@ -396,6 +400,7 @@ def run_chaos_paxos_experiment(
         agreement=agreement_holds(cluster),
         trace_digest=trace_digest(cluster.sim.trace),
         chaos_stats=controller.stats(),
+        metrics=collect_cluster_metrics(cluster),
     )
 
 
@@ -416,6 +421,7 @@ class ReliableJoinComparison:
     depth_reliable: int = 0
     joined_reliable: int = 0
     reliable_stats: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def recovered(self) -> bool:
@@ -470,6 +476,7 @@ def run_reliable_join_comparison(
         depth_loss_free=clean.final_depth, joined_loss_free=clean.joined,
         depth_reliable=masked.final_depth, joined_reliable=masked.joined,
         reliable_stats=masked.reliable_stats or {},
+        metrics=masked.metrics,
     )
 
 

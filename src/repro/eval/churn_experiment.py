@@ -11,10 +11,11 @@ of a single end-state snapshot.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from ..apps.randtree import RandTreeConfig, max_tree_depth, tree_depths
+from ..obs import collect_cluster_metrics
 from .tree_experiment import _build_cluster, _live_states
 
 
@@ -30,6 +31,7 @@ class ChurnResult:
     max_depth: int = 0
     mean_attached_fraction: float = 0.0
     churn_events: int = 0
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -109,6 +111,7 @@ def run_churn_experiment(
         attached_sum += attached / max(1, live)
     result.mean_depth = depth_sum / result.samples
     result.mean_attached_fraction = attached_sum / result.samples
+    result.metrics = collect_cluster_metrics(cluster)
     return result
 
 

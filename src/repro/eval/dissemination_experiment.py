@@ -12,8 +12,8 @@ policy in *both* settings without the application changing.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
 from ..apps.dissemination import (
     AdaptiveBlockResolver,
@@ -27,6 +27,7 @@ from ..apps.dissemination import (
 )
 from ..choice.resolvers import RandomResolver
 from ..net import Link, Topology
+from ..obs import collect_cluster_metrics
 from ..statemachine import Cluster
 
 SWARM_VARIANTS = (
@@ -52,6 +53,7 @@ class SwarmResult:
     last_completion: Optional[float]
     finished: int
     leechers: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         mean = f"{self.mean_completion:.1f}s" if self.mean_completion is not None else "n/a"
@@ -143,6 +145,7 @@ def run_swarm_experiment(
         last_completion=times[-1] if len(times) == leechers else None,
         finished=len(times),
         leechers=leechers,
+        metrics=collect_cluster_metrics(cluster),
     )
 
 

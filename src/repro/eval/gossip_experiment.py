@@ -12,8 +12,8 @@ overhead.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from ..apps.gossip import (
     GossipConfig,
@@ -26,6 +26,7 @@ from ..apps.gossip import (
 )
 from ..choice.resolvers import RandomResolver
 from ..net import Link, LinkDynamics, Topology
+from ..obs import collect_cluster_metrics
 from ..runtime import install_crystalball
 from ..statemachine import Cluster
 
@@ -44,6 +45,7 @@ class GossipResult:
     mean_latency: Optional[float]
     coverage: float
     app_messages: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         latency = f"{self.mean_latency:.3f}s" if self.mean_latency is not None else "n/a"
@@ -154,6 +156,7 @@ def run_gossip_experiment(
         mean_latency=mean_delivery_latency(cluster.services, config),
         coverage=coverage(cluster.services, rumor_count),
         app_messages=_count_app_messages(cluster),
+        metrics=collect_cluster_metrics(cluster),
     )
 
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..apps.paxos import PaxosConfig, make_paxos_factory, make_proposer_resolver
+from ..obs import collect_cluster_metrics
 from ..net import Link, Topology
 from ..runtime import install_crystalball
 from ..statemachine import Cluster
@@ -40,6 +41,7 @@ class PaxosResult:
     mean_latency: Optional[float]
     p99_latency: Optional[float]
     per_node_mean: Dict[int, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         mean = f"{self.mean_latency * 1000:.0f}ms" if self.mean_latency is not None else "n/a"
@@ -133,6 +135,7 @@ def run_paxos_experiment(
         mean_latency=statistics.mean(latencies) if latencies else None,
         p99_latency=latencies[int(0.99 * (len(latencies) - 1))] if latencies else None,
         per_node_mean=per_node,
+        metrics=collect_cluster_metrics(cluster),
     )
 
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from ..obs import collect_cluster_metrics
 
 from ..apps.randtree import (
     RandTreeConfig,
@@ -47,6 +49,7 @@ class TreeExperimentResult:
     depth_after_rejoin: int = 0
     joined_after_rejoin: int = 0
     failed_nodes: List[int] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -205,6 +208,7 @@ def run_tree_experiment(
     states = _live_states(cluster)
     result.depth_after_rejoin = max_tree_depth(states, cfg.root)
     result.joined_after_rejoin = len(tree_depths(states, cfg.root))
+    result.metrics = collect_cluster_metrics(cluster)
     return result
 
 

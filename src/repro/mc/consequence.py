@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..choice.objectives import Objective, SAFETY_PENALTY
+from ..obs import MetricsRegistry
 from .actions import Action
 from .explorer import (
     Explorer,
@@ -89,6 +91,7 @@ class ConsequencePredictor:
         chain_depth: int = 4,
         budget: int = 2_000,
         workers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if chain_depth < 1:
             raise ValueError(f"chain_depth must be >= 1, got {chain_depth}")
@@ -98,9 +101,15 @@ class ConsequencePredictor:
         self.chain_depth = chain_depth
         self.budget = budget
         self.workers = workers
+        # None means fully uninstrumented (not even counters) — the
+        # predictor is the hot path, so the baseline stays untouched.
+        self.metrics = metrics
 
     def predict(self, world: WorldState) -> PredictionReport:
         """Explore the causal chains of every enabled action."""
+        metrics = self.metrics
+        timed = metrics is not None and metrics.enabled
+        started = perf_counter() if timed else 0.0
         # Evaluate the root once up front: its cached verdicts let every
         # first-level successor check properties incrementally instead
         # of full-scanning (the verdict itself is not part of the
@@ -130,6 +139,18 @@ class ConsequencePredictor:
                     )
             report.outcomes.append(outcome)
             report.total_states += outcome.states
+        if metrics is not None:
+            metrics.counter("mc.predictions").inc()
+            metrics.counter("mc.states").inc(report.total_states)
+            pool = self.explorer.pool
+            if pool is not None:
+                metrics.gauge("mc.pool.hit_rate").set(pool.hit_rate)
+        if timed:
+            elapsed = perf_counter() - started
+            metrics.histogram("mc.predict.seconds").observe(elapsed)
+            metrics.histogram("mc.predict.states").observe(report.total_states)
+            if elapsed > 0.0:
+                metrics.gauge("mc.states_per_sec").set(report.total_states / elapsed)
         return report
 
     def _explore_parallel(
@@ -137,15 +158,29 @@ class ConsequencePredictor:
     ) -> List[ActionOutcome]:
         """Explore every chain concurrently, each with the full budget
         (the upper bound of what any serial chain could receive)."""
+        metrics = self.metrics
+        timed = metrics is not None and metrics.enabled
+        chain_times: List[float] = []
 
         def run(action: Action) -> ActionOutcome:
-            return self._explore_chain(
+            start = perf_counter() if timed else 0.0
+            outcome = self._explore_chain(
                 self.explorer.spawn(), world, action, self.budget
             )
+            if timed:
+                chain_times.append(perf_counter() - start)
+            return outcome
 
+        wall_start = perf_counter() if timed else 0.0
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(run, action) for action in actions]
-            return [future.result() for future in futures]
+            results = [future.result() for future in futures]
+        if timed:
+            wall = perf_counter() - wall_start
+            if wall > 0.0:
+                busy = sum(chain_times) / (self.workers * wall)
+                metrics.gauge("mc.workers.utilization").set(min(1.0, busy))
+        return results
 
     def _explore_chain(
         self, explorer: Explorer, root: WorldState, action: Action, budget: int

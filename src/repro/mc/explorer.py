@@ -115,6 +115,21 @@ class ServicePool:
         self._clean[node_id] = state if readonly else None
         return service
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires that skipped the restore (clean hits)."""
+        total = self.restores + self.restores_skipped
+        return self.restores_skipped / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Pool effectiveness counters, JSON-able."""
+        return {
+            "factory_calls": self.factory_calls,
+            "restores": self.restores,
+            "restores_skipped": self.restores_skipped,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class Explorer:
     """Enumerates and applies enabled actions over world states."""

@@ -11,7 +11,7 @@ consistent cut.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..statemachine.serialization import snapshot_value
@@ -30,7 +30,7 @@ class NeighborCheckpoint:
     epoch: int
     taken_at: float
     state: Dict[str, Any]
-    timers: List[tuple] = None
+    timers: List[tuple] = field(default_factory=list)
 
 
 class StateModel:
@@ -99,6 +99,10 @@ class StateModel:
         every known node has reached* — a simple consistency rule
         matching CrystalBall's epoch-stamped snapshot collection —
         optionally dropping checkpoints older than ``max_age``.
+
+        Only the latest checkpoint per node is stored, so a node whose
+        checkpoint is already past the cut epoch has no snapshot *from*
+        that epoch and is omitted rather than mixed in inconsistently.
         """
         candidates = [
             cp for cp in self._checkpoints.values()
@@ -110,7 +114,7 @@ class StateModel:
         return {
             cp.node_id: snapshot_value(cp.state)
             for cp in candidates
-            if cp.epoch >= cut_epoch
+            if cp.epoch == cut_epoch
         }
 
     def latest_states(self) -> Dict[int, Dict[str, Any]]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs import MetricsRegistry
 from ..sim import LivenessRegistry, Simulator
 
 OnMessage = Callable[[int, int, Any], None]
@@ -48,6 +49,7 @@ class Network:
         sim: Simulator,
         topology,
         liveness: Optional[LivenessRegistry] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -77,11 +79,55 @@ class Network:
         # payload — the adversarial end of the fault spectrum, layered
         # on top of the benign link loss model below.
         self._fault_interposers: List[Any] = []
-        self.messages_sent = 0
-        self.messages_delivered = 0
-        self.messages_dropped = 0
-        self.messages_duplicated = 0
-        self.bytes_sent = 0
+        # Traffic counters live in the metrics registry (a private one
+        # unless a shared registry is passed in); the historical
+        # ``messages_sent``/... attributes remain as live properties.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._messages_sent = self.metrics.counter("net.messages_sent")
+        self._messages_delivered = self.metrics.counter("net.messages_delivered")
+        self._messages_dropped = self.metrics.counter("net.messages_dropped")
+        self._messages_duplicated = self.metrics.counter("net.messages_duplicated")
+        self._bytes_sent = self.metrics.counter("net.bytes_sent")
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent.value
+
+    @messages_sent.setter
+    def messages_sent(self, value: int) -> None:
+        self._messages_sent.value = value
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._messages_delivered.value
+
+    @messages_delivered.setter
+    def messages_delivered(self, value: int) -> None:
+        self._messages_delivered.value = value
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._messages_dropped.value
+
+    @messages_dropped.setter
+    def messages_dropped(self, value: int) -> None:
+        self._messages_dropped.value = value
+
+    @property
+    def messages_duplicated(self) -> int:
+        return self._messages_duplicated.value
+
+    @messages_duplicated.setter
+    def messages_duplicated(self, value: int) -> None:
+        self._messages_duplicated.value = value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent.value
+
+    @bytes_sent.setter
+    def bytes_sent(self, value: int) -> None:
+        self._bytes_sent.value = value
 
     # ------------------------------------------------------------------
     # Endpoint management

@@ -1,0 +1,67 @@
+"""Observability: the measurement substrate under the runtime.
+
+``repro.obs`` owns the telemetry the rest of the system records into:
+
+* :class:`MetricsRegistry` — counters, gauges, and histograms with
+  label sets; counters/gauges always record, timed instruments are
+  gated by ``enabled`` (see :mod:`repro.obs.registry` for the cost
+  model);
+* :class:`~repro.obs.spans.Span` — host-clock timing of runtime
+  operations correlated with simulated time;
+* :class:`StatsView` — the dict-shaped compatibility views components
+  expose as their historical ``stats`` attributes;
+* :class:`RunReport` / :func:`collect_cluster_metrics` — the uniform
+  per-node run report every experiment emits and
+  ``python -m repro.cli report`` renders.
+
+A process-wide default registry is available through :func:`registry`
+for ad-hoc instrumentation; components default to private registries so
+unit tests and determinism comparisons stay isolated.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsView,
+    render_key,
+    stats_view,
+)
+from .report import RunReport, collect_cluster_metrics, node_metrics, run_report
+from .spans import NULL_SPAN, Span, SpanStats
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL_REGISTRY
+
+
+def set_registry(new_registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _GLOBAL_REGISTRY
+    previous = _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = new_registry
+    return previous
+
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "StatsView",
+    "stats_view",
+    "render_key",
+    "Span",
+    "SpanStats",
+    "NULL_SPAN",
+    "RunReport",
+    "collect_cluster_metrics",
+    "node_metrics",
+    "run_report",
+    "registry",
+    "set_registry",
+]

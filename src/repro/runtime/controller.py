@@ -25,6 +25,7 @@ from ..mc import (
     score_outcome,
 )
 from ..model import NetworkModel, StateModel
+from ..obs import MetricsRegistry, stats_view
 from ..statemachine import ChoiceRequested, InboundInterposer, SandboxContext
 from ..statemachine.node import Node
 from ..statemachine.serialization import freeze
@@ -79,6 +80,7 @@ class CrystalBallRuntime(InboundInterposer):
         generic_node: Optional[object] = None,
         max_snapshot_age: Optional[float] = None,
         stale_fallback: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.node = node
         self.service_factory = service_factory
@@ -142,25 +144,33 @@ class CrystalBallRuntime(InboundInterposer):
         self._replay_service: Optional[Any] = None
 
         self.state_model = StateModel(node.node_id)
-        self.steering = SteeringModule()
+        # All counters live in the metrics registry (a private one per
+        # runtime unless a shared, per-cluster registry is passed in);
+        # ``stats`` remains the historical dict-shaped view over them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.steering = SteeringModule(metrics=self.metrics, node=node.node_id)
         self.epoch = 0
-        self.stats: Dict[str, int] = {
-            "checkpoints_sent": 0,
-            "checkpoints_received": 0,
-            "predictions": 0,
-            "states_explored": 0,
-            "filters_installed": 0,
-            "steered_messages": 0,
-            "choices_resolved": 0,
-            "change_broadcasts": 0,
-            "delta_checkpoints_sent": 0,
-            "full_checkpoints_sent": 0,
-            "checkpoint_bytes_sent": 0,
-            "deltas_ignored": 0,
-            "model_shares_sent": 0,
-            "model_entries_adopted": 0,
-            "choices_fallback": 0,
-        }
+        self.stats = stats_view(
+            self.metrics, "runtime",
+            (
+                "checkpoints_sent",
+                "checkpoints_received",
+                "predictions",
+                "states_explored",
+                "filters_installed",
+                "steered_messages",
+                "choices_resolved",
+                "change_broadcasts",
+                "delta_checkpoints_sent",
+                "full_checkpoints_sent",
+                "checkpoint_bytes_sent",
+                "deltas_ignored",
+                "model_shares_sent",
+                "model_entries_adopted",
+                "choices_fallback",
+            ),
+            node=node.node_id,
+        )
 
         node.inbound_interposers.append(self)
         node.crystalball = self
@@ -272,6 +282,9 @@ class CrystalBallRuntime(InboundInterposer):
     # Periodic tasks
     # ------------------------------------------------------------------
 
+    def _sim_clock(self) -> float:
+        return self.node.sim.now
+
     def _own_timers(self) -> list:
         now = self.node.sim.now
         return [
@@ -298,16 +311,25 @@ class CrystalBallRuntime(InboundInterposer):
         """Take a checkpoint and send it (full or delta) to every neighbor."""
         now = self.node.sim.now
         self.epoch += 1
-        self._record_own_checkpoint()
-        state = self.node.service.checkpoint()
-        timers = self._own_timers()
-        message = self._make_checkpoint_message(state, timers, now)
-        for peer in self.neighbors():
-            self.node.network.send(
-                self.node.node_id, peer, message, size_bytes=message.wire_size(),
+        with self.metrics.span(
+            "runtime.checkpoint_broadcast", clock=self._sim_clock,
+            node=self.node.node_id,
+        ):
+            # Snapshot the service exactly once per broadcast: the same
+            # state feeds the local state model (which deep-copies on
+            # update) and the outbound message.
+            state = self.node.service.checkpoint()
+            timers = self._own_timers()
+            self.state_model.update(
+                self.node.node_id, self.epoch, now, state, timers=timers,
             )
-            self.stats["checkpoints_sent"] += 1
-            self.stats["checkpoint_bytes_sent"] += message.wire_size()
+            message = self._make_checkpoint_message(state, timers, now)
+            for peer in self.neighbors():
+                self.node.network.send(
+                    self.node.node_id, peer, message, size_bytes=message.wire_size(),
+                )
+                self.stats["checkpoints_sent"] += 1
+                self.stats["checkpoint_bytes_sent"] += message.wire_size()
 
     def _make_checkpoint_message(self, state, timers, now):
         full = CheckpointMsg(
@@ -447,10 +469,13 @@ class CrystalBallRuntime(InboundInterposer):
         """One consequence-prediction pass over the current snapshot."""
         predictor = ConsequencePredictor(
             self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
-            workers=self.prediction_workers,
+            workers=self.prediction_workers, metrics=self.metrics,
         )
-        world = self.current_world()
-        report = predictor.predict(world)
+        with self.metrics.span(
+            "runtime.predict", clock=self._sim_clock, node=self.node.node_id,
+        ):
+            world = self.current_world()
+            report = predictor.predict(world)
         self.stats["predictions"] += 1
         self.stats["states_explored"] += report.total_states
         if self.steering_enabled:
@@ -487,7 +512,7 @@ class CrystalBallRuntime(InboundInterposer):
                 if not local_deliveries:
                     continue
                 action = local_deliveries[-1]
-                self.steering.install(
+                newly_installed = self.steering.install(
                     EventFilter(
                         src=action.src,
                         msg_key=freeze(action.msg),
@@ -497,7 +522,11 @@ class CrystalBallRuntime(InboundInterposer):
                         reason=violation.property_name,
                     )
                 )
-                self.stats["filters_installed"] += 1
+                # A repeated prediction of the same violation merely
+                # refreshes the existing filter's TTL; only genuinely
+                # new filters count as installations.
+                if newly_installed:
+                    self.stats["filters_installed"] += 1
                 self.node.sim.trace.record(
                     now, "runtime.filter_installed", node=self.node.node_id,
                     src=action.src, msg=type(action.msg).__name__,
@@ -530,14 +559,17 @@ class CrystalBallRuntime(InboundInterposer):
             return point.candidates[0]
         best = point.candidates[0]
         best_score = float("-inf")
-        for candidate in point.candidates:
-            score = self._score_candidate(dispatch, candidate)
-            node.sim.trace.record(
-                node.sim.now, "runtime.choice_score", node=node.node_id,
-                label=point.label, score=round(score, 6),
-            )
-            if score > best_score:
-                best, best_score = candidate, score
+        with self.metrics.span(
+            "runtime.choice", clock=self._sim_clock, node=self.node.node_id,
+        ):
+            for candidate in point.candidates:
+                score = self._score_candidate(dispatch, candidate)
+                node.sim.trace.record(
+                    node.sim.now, "runtime.choice_score", node=node.node_id,
+                    label=point.label, score=round(score, 6),
+                )
+                if score > best_score:
+                    best, best_score = candidate, score
         self.stats["choices_resolved"] += 1
         return best
 
@@ -599,7 +631,7 @@ class CrystalBallRuntime(InboundInterposer):
             return immediate + future
         predictor = ConsequencePredictor(
             self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
-            workers=self.prediction_workers,
+            workers=self.prediction_workers, metrics=self.metrics,
         )
         report = predictor.predict(world)
         self.stats["states_explored"] += report.total_states

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..choice.choicepoint import ChoicePoint, ChoiceResolver
+from ..obs import MetricsRegistry
 from ..statemachine.serialization import freeze
 
 KeyFn = Callable[[ChoicePoint, Optional[object]], Tuple]
@@ -37,16 +38,56 @@ def scenario_key(point: ChoicePoint, node: Optional[object]) -> Tuple:
 class PolicyCache:
     """Bounded LRU of resolved choices with optional TTL."""
 
-    def __init__(self, ttl: Optional[float] = None, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        max_entries: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries!r}")
         self.ttl = ttl
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Tuple[Any, float]]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.expirations = 0
-        self.evictions = 0
+        # Counters live in the registry (private unless shared in);
+        # ``hits``/``misses``/... stay readable and writable attributes.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("policy_cache.hits")
+        self._misses = self.metrics.counter("policy_cache.misses")
+        self._expirations = self.metrics.counter("policy_cache.expirations")
+        self._evictions = self.metrics.counter("policy_cache.evictions")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def expirations(self) -> int:
+        return self._expirations.value
+
+    @expirations.setter
+    def expirations(self, value: int) -> None:
+        self._expirations.value = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
 
     def get(self, key: Tuple, now: float) -> Optional[Tuple[bool, Any]]:
         """Lookup: returns ``(True, value)`` on a live hit, else ``None``.

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
+from ..obs import MetricsRegistry
 from ..statemachine.serialization import freeze
 
 
@@ -42,29 +43,60 @@ class EventFilter:
 
 
 class SteeringModule:
-    """Holds and evaluates the node's installed event filters."""
+    """Holds and evaluates the node's installed event filters.
 
-    def __init__(self) -> None:
+    Counters live in a :class:`~repro.obs.MetricsRegistry` (a private
+    one by default; pass a shared registry plus ``node`` label to
+    aggregate per cluster); ``filtered_count`` stays available as the
+    historical attribute.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        node: Optional[int] = None,
+    ) -> None:
         self._filters: List[EventFilter] = []
-        self.filtered_count = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {} if node is None else {"node": node}
+        self._filtered = self.metrics.counter("steering.filtered", **labels)
+        self._installed = self.metrics.counter("steering.installed", **labels)
+        self._refreshed = self.metrics.counter("steering.refreshed", **labels)
 
-    def install(self, event_filter: EventFilter) -> None:
-        """Install one filter (duplicates by (src, key) are refreshed)."""
+    @property
+    def filtered_count(self) -> int:
+        """Messages dropped by a live filter so far."""
+        return self._filtered.value
+
+    @filtered_count.setter
+    def filtered_count(self, value: int) -> None:
+        self._filtered.value = value
+
+    def install(self, event_filter: EventFilter) -> bool:
+        """Install one filter (duplicates by (src, key) are refreshed).
+
+        Returns ``True`` when a *new* filter was added, ``False`` when
+        an existing filter merely had its TTL refreshed — callers
+        counting installations must not count refreshes.
+        """
         for existing in self._filters:
             if (existing.src, existing.msg_key, existing.msg_type) == (
                 event_filter.src, event_filter.msg_key, event_filter.msg_type,
             ):
                 existing.expires_at = max(existing.expires_at, event_filter.expires_at)
                 existing.reason = event_filter.reason
-                return
+                self._refreshed.inc()
+                return False
         self._filters.append(event_filter)
+        self._installed.inc()
+        return True
 
     def matches(self, src: int, msg: Any, now: float) -> Optional[EventFilter]:
         """The first live filter matching this inbound message, if any."""
         self.prune(now)
         for event_filter in self._filters:
             if event_filter.matches(src, msg, now):
-                self.filtered_count += 1
+                self._filtered.inc()
                 return event_filter
         return None
 

@@ -76,6 +76,10 @@ class TraceLog:
         """Number of records with exactly this category."""
         return self._counts[category]
 
+    def category_counts(self) -> Dict[str, int]:
+        """Record counts per exact category (a fresh dict)."""
+        return dict(self._counts)
+
     def clear(self) -> None:
         """Discard all records."""
         self._records.clear()
@@ -87,7 +91,9 @@ class TraceLog:
 
         The format is one object per line with ``time``, ``category``,
         ``node``, and the record's data fields inlined — loadable by
-        any log tooling.
+        any log tooling.  A data field whose name collides with one of
+        the three envelope fields is preserved under a ``data_`` prefix
+        (``data_time``, ``data_node``, ...) instead of being dropped.
         """
         import json
 
@@ -98,7 +104,9 @@ class TraceLog:
                 row = {"time": record.time, "category": record.category,
                        "node": record.node}
                 for key, value in record.data.items():
-                    row.setdefault(key, _jsonable(value))
+                    while key in row:
+                        key = f"data_{key}"
+                    row[key] = _jsonable(value)
                 handle.write(json.dumps(row) + "\n")
                 written += 1
         return written

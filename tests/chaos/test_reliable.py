@@ -129,3 +129,27 @@ def test_deterministic_given_seed():
         sim.run()
         outcomes.append((inboxes[1], dict(layer.stats)))
     assert outcomes[0] == outcomes[1]
+
+
+def test_ack_cancels_pending_retry_timer():
+    # Regression: every acked send used to leave its retry event live
+    # in the simulator queue until the timeout expired — an unbounded
+    # queue of dead events on busy clean links.
+    sim, net, layer, inboxes = make_layer()
+    for k in range(20):
+        layer.send(0, 1, k)
+    sim.run(until=0.1)  # acks arrive ~0.04s; retries were due at 0.3s
+    assert layer.stats["acked"] == 20
+    assert layer.pending_count == 0
+    assert len(sim.queue) == 0
+
+
+def test_reliable_stats_are_registry_backed():
+    sim, net, layer, inboxes = make_layer()
+    layer.send(0, 1, "hello")
+    sim.run()
+    assert dict(layer.stats) == {
+        "sent": 1, "acked": 1, "retransmissions": 0,
+        "duplicates_suppressed": 0, "gave_up": 0,
+    }
+    assert layer.metrics.counter("reliable.acked").value == 1

@@ -1,0 +1,121 @@
+"""Metrics registry: instruments, labels, views, the enabled gate."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, StatsView, render_key, stats_view
+
+
+def test_counter_identity_and_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("x.hits")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    assert registry.counter("x.hits") is counter
+
+
+def test_labels_distinguish_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("net.sent", node=0)
+    b = registry.counter("net.sent", node=1)
+    assert a is not b
+    a.inc()
+    assert registry.counters() == {
+        "net.sent{node=0}": 1, "net.sent{node=1}": 0,
+    }
+
+
+def test_render_key():
+    assert render_key("x", ()) == "x"
+    assert render_key("x", (("a", 1), ("b", 2))) == "x{a=1,b=2}"
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("pool.size")
+    gauge.set(3.0)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value == 2.0
+
+
+def test_histogram_summary_and_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert summary["min"] == 0.05 and summary["max"] == 5.0
+    assert summary["buckets"] == {"0.1": 1, "1.0": 1, "+inf": 1}
+
+
+def test_disabled_registry_gates_histograms_not_counters():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("c").inc()
+    registry.histogram("h").observe(1.0)
+    assert registry.counter("c").value == 1   # counters always record
+    assert registry.histogram("h").count == 0  # timed instruments gated
+
+
+def test_disabled_registry_returns_null_span():
+    registry = MetricsRegistry(enabled=False)
+    with registry.span("op") as span:
+        pass
+    assert registry.span_stats("op") is None
+    assert span is not None  # the shared no-op object
+
+
+def test_stats_view_is_dict_shaped():
+    registry = MetricsRegistry()
+    view = stats_view(registry, "runtime", ("a", "b"), node=3)
+    view["a"] += 2
+    view["b"] = 7
+    assert view["a"] == 2
+    assert dict(view) == {"a": 2, "b": 7}
+    assert view == {"a": 2, "b": 7}
+    assert {"a": 2, "b": 7} == view
+    assert view != {"a": 0, "b": 7}
+    assert registry.counter("runtime.a", node=3).value == 2
+
+
+def test_stats_view_equality_across_registries():
+    # Determinism comparisons diff whole stats views between runs.
+    v1 = stats_view(MetricsRegistry(), "r", ("x",))
+    v2 = stats_view(MetricsRegistry(), "r", ("x",))
+    v1["x"] += 1
+    assert v1 != v2
+    v2["x"] += 1
+    assert v1 == v2
+
+
+def test_stats_view_keys_are_fixed():
+    view = stats_view(MetricsRegistry(), "r", ("x",))
+    with pytest.raises(KeyError):
+        view["nope"]
+    with pytest.raises(TypeError):
+        del view["x"]
+
+
+def test_snapshot_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(2.5)
+    registry.histogram("h").observe(1.0)
+    with registry.span("s"):
+        pass
+    snap = registry.snapshot()
+    assert snap["counters"] == {"c": 1}
+    assert snap["gauges"] == {"g": 2.5}
+    assert "h" in snap["histograms"]
+    assert "s" in snap["spans"]
+    handle = registry.counter("c")
+    registry.reset()
+    assert handle.value == 0
+    assert registry.snapshot()["spans"] == {}
+
+
+def test_stats_view_repr_is_dict_repr():
+    view = stats_view(MetricsRegistry(), "r", ("x",))
+    assert repr(view) == "{'x': 0}"
+    assert isinstance(view, StatsView)

@@ -145,3 +145,62 @@ def test_neighbors_fn_override():
         cluster.node(0), factory, neighbors_fn=lambda node: [2],
     )
     assert runtime.neighbors() == [2]
+
+
+def test_broadcast_checkpoints_service_exactly_once():
+    # Regression: broadcast_checkpoint used to call service.checkpoint()
+    # twice per broadcast — once for the local state model and once for
+    # the wire message.
+    cluster, runtimes = make_cluster(checkpoint_period=0.0)
+    cluster.start_all()
+    cluster.run(until=0.5)
+    service = cluster.service(0)
+    calls = []
+    original = service.checkpoint
+
+    def counting_checkpoint():
+        calls.append(1)
+        return original()
+
+    service.checkpoint = counting_checkpoint
+    runtimes[0].broadcast_checkpoint()
+    assert len(calls) == 1
+    # The snapshot still reached both consumers: the state model holds
+    # the new epoch and the neighbors got a checkpoint message.
+    assert runtimes[0].state_model.get(0).epoch == runtimes[0].epoch
+    assert runtimes[0].stats["checkpoints_sent"] == 2
+
+
+def test_filters_installed_not_inflated_by_ttl_refresh():
+    # Regression: re-predicting the same violation refreshes the
+    # existing filter's TTL; the installation counter must not grow.
+    from repro.mc import ActionOutcome, PredictionReport, Violation
+
+    cluster, runtimes = make_cluster(checkpoint_period=0.0)
+    cluster.start_all()
+    cluster.run(until=0.5)
+    runtime = runtimes[0]
+    world = runtime.current_world()
+    action = DeliverAction(src=1, dst=0, msg=Bump(amount=1), handler="on_bump")
+    outcome = ActionOutcome(
+        action=action,
+        violations=[Violation(property_name="p", path=(action,), world=world)],
+    )
+    report = PredictionReport(outcomes=[outcome], total_states=1)
+    runtime._apply_steering(report, world)
+    runtime._apply_steering(report, world)
+    assert runtime.stats["filters_installed"] == 1
+    assert len(runtime.steering) == 1
+
+
+def test_runtime_metrics_registry_backs_stats():
+    cluster, runtimes = make_cluster(checkpoint_period=0.5)
+    cluster.start_all()
+    cluster.run(until=2.0)
+    runtime = runtimes[0]
+    counters = runtime.metrics.counters()
+    assert counters["runtime.checkpoints_sent{node=0}"] == \
+        runtime.stats["checkpoints_sent"]
+    # The checkpoint-broadcast span timed every broadcast on this node.
+    span = runtime.metrics.span_stats("runtime.checkpoint_broadcast", node=0)
+    assert span is not None and span.count > 0

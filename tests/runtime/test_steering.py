@@ -75,3 +75,24 @@ def test_filtered_count_increments():
     module.matches(1, Evil(n=1), now=1.0)
     module.matches(1, Evil(n=1), now=2.0)
     assert module.filtered_count == 2
+
+
+def test_install_reports_new_vs_refresh():
+    # Regression: a duplicate install only refreshes the TTL — the
+    # return value distinguishes that so callers don't overcount
+    # installations.
+    module = SteeringModule()
+    assert module.install(exact_filter(expires=5.0)) is True
+    assert module.install(exact_filter(expires=9.0)) is False
+    assert len(module) == 1
+    assert module.active_filters[0].expires_at == 9.0
+    assert module.metrics.counter("steering.installed").value == 1
+    assert module.metrics.counter("steering.refreshed").value == 1
+
+
+def test_filtered_count_backed_by_registry():
+    module = SteeringModule()
+    module.install(exact_filter())
+    assert module.matches(1, Evil(n=1), now=1.0) is not None
+    assert module.filtered_count == 1
+    assert module.metrics.counter("steering.filtered").value == 1

@@ -3,6 +3,7 @@
 import json
 
 from repro.sim import TraceLog
+from repro.sim.trace import TraceRecord
 
 
 def seeded_log():
@@ -30,6 +31,27 @@ def test_dump_filtered_by_category(tmp_path):
     assert count == 1
     row = json.loads(path.read_text())
     assert row["category"] == "net.send"
+
+
+def test_dump_preserves_colliding_data_fields(tmp_path):
+    # Regression: data fields named like the envelope fields (time,
+    # category, node) used to silently overwrite them — or be dropped,
+    # depending on insertion order.  They must survive under a
+    # ``data_`` prefix with the envelope untouched.
+    log = TraceLog()
+    log._records.append(TraceRecord(
+        time=1.5, category="app.event", node=7,
+        data={"time": 99.0, "category": "inner", "node_count": 3},
+    ))
+    path = tmp_path / "collide.jsonl"
+    log.dump_jsonl(str(path))
+    row = json.loads(path.read_text())
+    assert row["time"] == 1.5
+    assert row["category"] == "app.event"
+    assert row["node"] == 7
+    assert row["data_time"] == 99.0
+    assert row["data_category"] == "inner"
+    assert row["node_count"] == 3  # non-colliding fields keep their names
 
 
 def test_dump_handles_odd_values(tmp_path):
