@@ -72,6 +72,10 @@ class _Pending:
     # The live retry/lastwait timer for this send; cancelled on ack so
     # the simulator queue does not accumulate dead retry events.
     timer: Optional[Any] = None
+    # Causal event of the dispatch that issued the send (when causal
+    # tracing is on): retransmissions re-enter this scope, so every
+    # attempt shares the original trace id and cause.
+    cause: Optional[int] = None
 
 
 class ReliableLayer:
@@ -147,7 +151,11 @@ class ReliableLayer:
         seq = self._next_seq.get(src, 0)
         self._next_seq[src] = seq + 1
         key = (src, dst, seq)
-        self._pending[key] = _Pending(payload=payload, size_bytes=size_bytes)
+        pending = _Pending(payload=payload, size_bytes=size_bytes)
+        tracer = self._network.sim.causal
+        if tracer is not None:
+            pending.cause = tracer.current_event_id()
+        self._pending[key] = pending
         self.stats["sent"] += 1
         self._transmit(key)
         return True
@@ -168,15 +176,15 @@ class ReliableLayer:
         pending.attempts += 1
         if pending.attempts > 1:
             self.stats["retransmissions"] += 1
-            self._network.sim.trace.record(
-                self._network.sim.now, "reliable.retransmit", node=src,
-                dst=dst, seq=seq, attempt=pending.attempts,
-            )
-        self._network.send(
-            src, dst, DataEnvelope(seq=seq, payload=pending.payload),
-            size_bytes=pending.size_bytes + ENVELOPE_OVERHEAD_BYTES,
-            reliable=False,
-        )
+        tracer = self._network.sim.causal
+        if tracer is None:
+            self._transmit_wire(key, pending)
+        else:
+            # Retransmissions re-enter the original send's causal scope:
+            # same trace id and cause, a fresh attempt number — so a
+            # late duplicate is attributable to the send that mattered.
+            with tracer.resumed(pending.cause, attempt=pending.attempts):
+                self._transmit_wire(key, pending)
         if pending.attempts > self.config.max_retries:
             # This was the last shot; if the ack never comes, give up.
             pending.timer = self._network.sim.schedule(
@@ -189,6 +197,20 @@ class ReliableLayer:
             self._retry_delay(pending.attempts),
             lambda: self._transmit(key),
             tag=f"reliable.retry:{src}->{dst}",
+        )
+
+    def _transmit_wire(self, key: Tuple[int, int, int], pending: _Pending) -> None:
+        """Put one (re)transmission attempt on the wire."""
+        src, dst, seq = key
+        if pending.attempts > 1:
+            self._network.sim.trace.record(
+                self._network.sim.now, "net.retry", node=src,
+                dst=dst, seq=seq, attempt=pending.attempts,
+            )
+        self._network.send(
+            src, dst, DataEnvelope(seq=seq, payload=pending.payload),
+            size_bytes=pending.size_bytes + ENVELOPE_OVERHEAD_BYTES,
+            reliable=False,
         )
 
     def _retry_delay(self, attempts: int) -> float:

@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli e4 --variant choice-model
     python -m repro.cli e5 --setting abundant --variant baseline-rarest
     python -m repro.cli e6 --variant mencius
+    python -m repro.cli trace e6 --explain
+    python -m repro.cli trace a7 --explain --format markdown \\
+        --json TRACE_EXPLAIN.json --markdown TRACE_EXPLAIN.md
     python -m repro.cli bench p1 --quick
     python -m repro.cli report e2 --variant choice-crystalball --seed 1 \\
         --json RUN_REPORT.json --markdown RUN_REPORT.md
@@ -238,6 +241,47 @@ def _cmd_a7(args) -> int:
     return 0
 
 
+def _render_explanation(explanation, fmt: str) -> str:
+    if fmt == "json":
+        return explanation.to_json() + "\n"
+    if fmt == "markdown":
+        return explanation.to_markdown()
+    return explanation.to_ascii()
+
+
+def _cmd_trace(args) -> int:
+    from .eval import run_trace_session
+
+    session = run_trace_session(
+        args.experiment, seed=args.seed, keep_cluster=bool(args.jsonl),
+    )
+    print(session.summary())
+    explanations = session.steering + session.violations
+    if args.explain:
+        if not explanations:
+            print("nothing to explain: no steering decisions and no "
+                  "predicted violations")
+        for explanation in explanations:
+            print()
+            print(_render_explanation(explanation, args.format), end="")
+    best = session.best_explanation()
+    if args.json and best is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(best.to_json() + "\n")
+        print(f"wrote {args.json}")
+    if args.markdown and explanations:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(f"# Causal forensics: {args.experiment} "
+                     f"(seed {args.seed})\n\n{session.summary()}\n\n")
+            for explanation in explanations:
+                fh.write(explanation.to_markdown() + "\n")
+        print(f"wrote {args.markdown}")
+    if args.jsonl and session.cluster is not None:
+        written = session.cluster.sim.trace.dump_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl} ({written} records)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +331,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the JSON report here")
     p.add_argument("--markdown", default=None, metavar="PATH",
                    help="write the Markdown report here")
+    p = sub.add_parser(
+        "trace",
+        help="run a causal-forensics session and explain steering decisions",
+    )
+    p.add_argument("experiment", choices=("e6", "a7"),
+                   help="e6: clean steering forensics; a7: under message chaos")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--explain", action="store_true",
+                   help="print the causal explanation of every steering "
+                        "decision and predicted violation")
+    p.add_argument("--format", choices=("ascii", "markdown", "json"),
+                   default="ascii", help="rendering for --explain")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the leading explanation as JSON here")
+    p.add_argument("--markdown", default=None, metavar="PATH",
+                   help="write all explanations as Markdown here")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="dump the full causally-stamped trace as JSONL here")
     p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
     add_common(p)
     p.add_argument("--nodes", type=int, default=15)
@@ -310,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "e6": _cmd_e6,
         "e7": _cmd_e7,
         "a7": _cmd_a7,
+        "trace": _cmd_trace,
         "bench": _cmd_bench,
         "report": _cmd_report,
     }

@@ -36,6 +36,12 @@ from .paxos_experiment import (
     run_paxos_experiment,
     wan_topology,
 )
+from .trace_experiment import (
+    TRACE_EXPERIMENTS,
+    TraceSession,
+    canary_property,
+    run_trace_session,
+)
 from .tree_experiment import (
     TreeExperimentResult,
     VARIANTS,
@@ -73,6 +79,10 @@ __all__ = [
     "agreement_holds",
     "run_paxos_experiment",
     "wan_topology",
+    "TRACE_EXPERIMENTS",
+    "TraceSession",
+    "canary_property",
+    "run_trace_session",
     "TreeExperimentResult",
     "VARIANTS",
     "failed_subtree",

@@ -290,13 +290,19 @@ class Network:
             delivered_payload = fault.replace
 
         epoch = self._conn_epoch.get(_pair(src, dst), 0) if reliable else None
+        kind = type(payload).__name__
+        tracer = self.sim.causal
+        ctx = (
+            tracer.send_event(src, dst, kind)
+            if tracer is not None else None
+        )
         self.sim.trace.record(
             self.sim.now, "net.send", node=src, dst=dst, size=size_bytes,
-            kind=type(payload).__name__,
+            kind=kind,
         )
         self.sim.schedule_at(
             arrival,
-            lambda: self._deliver(src, dst, delivered_payload, epoch),
+            lambda: self._deliver(src, dst, delivered_payload, epoch, ctx),
             tag=f"net.deliver:{src}->{dst}",
         )
         if fault is not None and fault.duplicates:
@@ -304,28 +310,62 @@ class Network:
                 self.messages_duplicated += 1
                 self.sim.schedule_at(
                     arrival + extra,
-                    lambda: self._deliver(src, dst, delivered_payload, epoch),
+                    lambda: self._deliver(src, dst, delivered_payload, epoch,
+                                          ctx, dup=True),
                     tag=f"net.deliver-dup:{src}->{dst}",
                 )
         return True
 
-    def _deliver(self, src: int, dst: int, payload: Any, epoch: Optional[int]) -> None:
+    def _deliver(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        epoch: Optional[int],
+        ctx: Optional[Any] = None,
+        dup: bool = False,
+    ) -> None:
         if epoch is not None and self._conn_epoch.get(_pair(src, dst), 0) != epoch:
-            self._drop(src, dst, payload, "connection-broken")
+            self._drop(src, dst, payload, "connection-broken", ctx, at_dst=True)
             return
         if not self.liveness.is_up(dst):
-            self._drop(src, dst, payload, "destination-down")
+            self._drop(src, dst, payload, "destination-down", ctx, at_dst=True)
             return
         endpoint = self._endpoints.get(dst)
         if endpoint is None:
-            self._drop(src, dst, payload, "detached")
+            self._drop(src, dst, payload, "detached", ctx, at_dst=True)
             return
         self.messages_delivered += 1
+        tracer = self.sim.causal
+        if tracer is None:
+            self.sim.trace.record(self.sim.now, "net.deliver", node=dst, src=src)
+            endpoint.on_message(src, dst, payload)
+            return
+        event = tracer.deliver_event(ctx, dst, dup=dup)
         self.sim.trace.record(self.sim.now, "net.deliver", node=dst, src=src)
-        endpoint.on_message(src, dst, payload)
+        # Inlined tracer.executing(event) — one scope per delivery makes
+        # even the context-manager protocol measurable.
+        scopes = tracer._current
+        depth = len(scopes)
+        scopes.append(event)
+        try:
+            endpoint.on_message(src, dst, payload)
+        finally:
+            del scopes[depth:]
 
-    def _drop(self, src: int, dst: int, payload: Any, reason: str) -> None:
+    def _drop(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        reason: str,
+        ctx: Optional[Any] = None,
+        at_dst: bool = False,
+    ) -> None:
         self.messages_dropped += 1
+        tracer = self.sim.causal
+        if tracer is not None:
+            tracer.drop_event(dst if at_dst else src, ctx)
         self.sim.trace.record(
             self.sim.now, "net.drop", node=src, dst=dst, reason=reason,
             kind=type(payload).__name__,

@@ -12,13 +12,32 @@
   expose as their historical ``stats`` attributes;
 * :class:`RunReport` / :func:`collect_cluster_metrics` — the uniform
   per-node run report every experiment emits and
-  ``python -m repro.cli report`` renders.
+  ``python -m repro.cli report`` renders;
+* :mod:`repro.obs.causal` / :mod:`repro.obs.forensics` — opt-in causal
+  tracing (trace ids, Lamport/vector clocks, happens-before graphs) and
+  the forensics engine that turns stamped traces into minimal causal
+  explanations of steering decisions (``python -m repro.cli trace``).
 
 A process-wide default registry is available through :func:`registry`
 for ad-hoc instrumentation; components default to private registries so
 unit tests and determinism comparisons stay isolated.
 """
 
+from .causal import (
+    CausalContext,
+    CausalTracer,
+    HappensBeforeGraph,
+    HBEvent,
+    enable_causal_tracing,
+)
+from .forensics import (
+    CausalExplanation,
+    ExplanationStep,
+    explain_chain,
+    explain_filter,
+    explain_steering,
+    explain_violation,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -64,4 +83,15 @@ __all__ = [
     "run_report",
     "registry",
     "set_registry",
+    "CausalContext",
+    "CausalTracer",
+    "HappensBeforeGraph",
+    "HBEvent",
+    "enable_causal_tracing",
+    "CausalExplanation",
+    "ExplanationStep",
+    "explain_chain",
+    "explain_filter",
+    "explain_steering",
+    "explain_violation",
 ]

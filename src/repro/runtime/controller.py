@@ -274,6 +274,20 @@ class CrystalBallRuntime(InboundInterposer):
                 now, "runtime.steer", node=node.node_id, src=src,
                 msg=type(msg).__name__, reason=matched.reason,
             )
+            # The explanation record is emitted with identical data in
+            # both tracing modes (trace digests must not depend on the
+            # causal flag); the happens-before chain of the offending
+            # message rides in the causal stamp only.
+            tracer = node.sim.causal
+            if tracer is not None:
+                tracer.annotate_next(
+                    chain=tracer.chain_ids(tracer.current_event_id()),
+                )
+            node.sim.trace.record(
+                now, "runtime.steer.explain", node=node.node_id, src=src,
+                msg=type(msg).__name__, reason=matched.reason,
+                predicted=list(matched.predicted_path),
+            )
             node.network.break_connection(node.node_id, src)
             return False
         return True
@@ -520,6 +534,7 @@ class CrystalBallRuntime(InboundInterposer):
                         installed_at=now,
                         expires_at=now + self.filter_ttl,
                         reason=violation.property_name,
+                        predicted_path=tuple(a.describe() for a in violation.path),
                     )
                 )
                 # A repeated prediction of the same violation merely

@@ -32,6 +32,10 @@ class EventFilter:
     installed_at: float
     expires_at: float
     reason: str = ""
+    # The predicted violation path (action descriptions) that caused
+    # this filter: the forensics layer renders it as the predicted
+    # continuation of a steering explanation.
+    predicted_path: Tuple[str, ...] = ()
 
     def matches(self, src: int, msg: Any, now: float) -> bool:
         """Whether this live filter matches an inbound message."""
@@ -85,6 +89,8 @@ class SteeringModule:
             ):
                 existing.expires_at = max(existing.expires_at, event_filter.expires_at)
                 existing.reason = event_filter.reason
+                if event_filter.predicted_path:
+                    existing.predicted_path = event_filter.predicted_path
                 self._refreshed.inc()
                 return False
         self._filters.append(event_filter)

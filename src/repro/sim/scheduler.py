@@ -9,7 +9,7 @@ deployment is replaced by this substrate (see DESIGN.md section 2).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .clock import VirtualClock
 from .events import EventHandle, EventQueue
@@ -35,6 +35,10 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else TraceLog()
         self.events_dispatched = 0
+        # Causal tracer when causal tracing is enabled (see
+        # repro.obs.causal.enable_causal_tracing); None keeps the hot
+        # path at a single attribute test per send/deliver/timer.
+        self.causal: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -4,10 +4,17 @@ Every interesting action in a simulation (message send/deliver/drop,
 timer fire, checkpoint exchange, steering decision, choice resolution)
 is appended to a :class:`TraceLog` as a :class:`TraceRecord`.  Tests and
 benchmarks assert against the trace instead of scraping stdout.
+
+When causal tracing is enabled (see :mod:`repro.obs.causal`), each
+record additionally carries a ``causal`` stamp — event id, trace id,
+cause link, and logical clocks.  The stamp lives *outside* ``data`` so
+trace digests (computed over time/category/node/data only) are
+byte-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -19,21 +26,40 @@ class TraceRecord:
 
     ``category`` is a dotted string such as ``"net.deliver"`` or
     ``"runtime.steer"``; ``node`` is the acting node id (or ``None`` for
-    global events); ``data`` carries event-specific fields.
+    global events); ``data`` carries event-specific fields; ``causal``
+    is the optional causal stamp (``None`` unless tracing is enabled).
     """
 
     time: float
     category: str
     node: Optional[int]
     data: Dict[str, Any] = field(default_factory=dict)
+    causal: Optional[Dict[str, Any]] = None
 
 
 class TraceLog:
-    """An append-only in-memory log of :class:`TraceRecord` objects."""
+    """An append-only in-memory log of :class:`TraceRecord` objects.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``max_records`` turns the log into a ring buffer: once more than
+    that many records are retained, the oldest are dropped (counted in
+    ``dropped_records``).  Category counts stay cumulative over the
+    whole run — counters always record, only the record bodies age out.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records!r}")
         self.enabled = enabled
+        self.max_records = max_records
+        self.dropped_records = 0
+        # When causal tracing is on, the tracer supplies a stamp for
+        # each appended record (see repro.obs.causal.CausalTracer).
+        self.tracer: Optional[Any] = None
         self._records: List[TraceRecord] = []
+        # Ring-buffer head: index of the first live record.  Dropping
+        # advances the head; the list is compacted once the dead prefix
+        # reaches max_records, keeping appends amortized O(1).
+        self._start = 0
         self._counts: Counter = Counter()
 
     def record(
@@ -46,8 +72,35 @@ class TraceLog:
         """Append a record (no-op when tracing is disabled)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time=time, category=category, node=node, data=data))
+        tracer = self.tracer
+        if tracer is None:
+            causal = None
+        else:
+            # Inlined tracer.take_stamp(): this runs once per record on
+            # the simulator hot path, and the method call + ambient-dict
+            # construction are measurable at that frequency.
+            causal = tracer._pending
+            if causal is not None:
+                tracer._pending = None
+            else:
+                current = tracer._current
+                if current:
+                    last = current[-1]
+                    causal = {"trace": tracer._trace_ids[last - 1], "in": last}
+        self._records.append(
+            TraceRecord(time=time, category=category, node=node, data=data,
+                        causal=causal)
+        )
         self._counts[category] += 1
+        if (
+            self.max_records is not None
+            and len(self._records) - self._start > self.max_records
+        ):
+            self._start += 1
+            self.dropped_records += 1
+            if self._start >= self.max_records:
+                del self._records[: self._start]
+                self._start = 0
 
     def select(
         self,
@@ -59,11 +112,16 @@ class TraceLog:
 
         ``category`` matches exactly or as a dotted prefix: selecting
         ``"net"`` returns ``"net.deliver"`` and ``"net.drop"`` records.
+        Records are appended in nondecreasing time order (the simulated
+        clock never runs backwards), so ``since`` binary-searches to its
+        start position instead of scanning from the head.
         """
+        lo = self._start
+        if since > 0.0:
+            lo = bisect_left(self._records, since, lo=lo, key=lambda r: r.time)
         out = []
-        for rec in self._records:
-            if rec.time < since:
-                continue
+        for index in range(lo, len(self._records)):
+            rec = self._records[index]
             if node is not None and rec.node != node:
                 continue
             if category is not None:
@@ -73,7 +131,8 @@ class TraceLog:
         return out
 
     def count(self, category: str) -> int:
-        """Number of records with exactly this category."""
+        """Number of records with exactly this category (cumulative —
+        ring-buffer eviction does not decrement)."""
         return self._counts[category]
 
     def category_counts(self) -> Dict[str, int]:
@@ -83,6 +142,8 @@ class TraceLog:
     def clear(self) -> None:
         """Discard all records."""
         self._records.clear()
+        self._start = 0
+        self.dropped_records = 0
         self._counts.clear()
 
     def dump_jsonl(self, path: str, category: Optional[str] = None) -> int:
@@ -90,19 +151,22 @@ class TraceLog:
         JSON lines; returns the number of records written.
 
         The format is one object per line with ``time``, ``category``,
-        ``node``, and the record's data fields inlined — loadable by
-        any log tooling.  A data field whose name collides with one of
-        the three envelope fields is preserved under a ``data_`` prefix
-        (``data_time``, ``data_node``, ...) instead of being dropped.
+        ``node``, the causal stamp under ``causal`` (when present), and
+        the record's data fields inlined — loadable by any log tooling.
+        A data field whose name collides with one of the envelope
+        fields is preserved under a ``data_`` prefix (``data_time``,
+        ``data_node``, ...) instead of being dropped.
         """
         import json
 
-        records = self.select(category=category) if category else self._records
+        records = self.select(category=category) if category else self._live_records()
         written = 0
         with open(path, "w", encoding="utf-8") as handle:
             for record in records:
                 row = {"time": record.time, "category": record.category,
                        "node": record.node}
+                if record.causal is not None:
+                    row["causal"] = _jsonable(record.causal)
                 for key, value in record.data.items():
                     while key in row:
                         key = f"data_{key}"
@@ -111,18 +175,23 @@ class TraceLog:
                 written += 1
         return written
 
+    def _live_records(self) -> List[TraceRecord]:
+        return self._records[self._start:] if self._start else self._records
+
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self._live_records())
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) - self._start
 
     def __repr__(self) -> str:
-        return f"TraceLog(records={len(self._records)}, enabled={self.enabled})"
+        return f"TraceLog(records={len(self)}, enabled={self.enabled})"
 
 
 def _jsonable(value: Any) -> Any:
     """Best-effort JSON-safe conversion for trace data fields."""
+    import dataclasses
+
     if isinstance(value, (str, int, float, bool, type(None))):
         return value
     if isinstance(value, (list, tuple)):
@@ -131,6 +200,19 @@ def _jsonable(value: Any) -> Any:
         return sorted(_jsonable(v) for v in value)
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Messages (and other dataclass payloads) render as typed field
+        # dicts, not reprs, so JSONL dumps round-trip through json.loads.
+        # Duck-typed msg_type() avoids importing repro.statemachine here.
+        msg_type = getattr(value, "msg_type", None)
+        label = msg_type() if callable(msg_type) else type(value).__name__
+        row: Dict[str, Any] = {"type": label}
+        for f in dataclasses.fields(value):
+            key = f.name
+            while key in row:
+                key = f"field_{key}"
+            row[key] = _jsonable(getattr(value, f.name))
+        return row
     return repr(value)
 
 

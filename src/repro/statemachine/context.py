@@ -100,6 +100,13 @@ class LiveContext(Context):
 
     def choose(self, point: ChoicePoint) -> Any:
         value = self.node.resolve_choice(point)
+        # The choice event joins the current execution scope (see
+        # CausalTracer.choice_event): everything this dispatch does
+        # after the resolution is causally downstream of the choice,
+        # so forensics can root explanation chains at choice points.
+        tracer = self.node.sim.causal
+        if tracer is not None:
+            tracer.choice_event(self.node.node_id, point.label)
         self.record("choice.resolve", label=point.label, value=_compact(value),
                     n_candidates=len(point.candidates))
         return value
@@ -112,6 +119,9 @@ class LiveContext(Context):
             info={"src": src, "msg": msg},
         )
         spec = self.node.resolve_choice(point)
+        tracer = self.node.sim.causal
+        if tracer is not None:
+            tracer.choice_event(self.node.node_id, point.label)
         self.record("choice.handler", label=point.label, value=spec.name)
         return spec
 

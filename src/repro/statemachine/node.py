@@ -97,6 +97,10 @@ class Node:
         self._timers: Dict[str, int] = {}
         self._timer_payloads: Dict[str, Any] = {}
         self._timer_deadlines: Dict[str, float] = {}
+        # Causal parent per armed timer: the event executing when the
+        # timer was (re)armed, so a fire chains back to its cause.
+        # Only populated when causal tracing is enabled.
+        self._timer_causes: Dict[str, int] = {}
         self._timer_token = 0
         self.started = False
         # Chaos clock-skew injection: added to the service-visible clock
@@ -127,8 +131,15 @@ class Node:
         if self.started:
             return
         self.started = True
+        tracer = self.sim.causal
+        if tracer is None:
+            self.sim.trace.record(self.sim.now, "node.start", node=self.node_id)
+            self.service.on_init()
+            return
+        event = tracer.local_event(self.node_id, "start", root=True)
         self.sim.trace.record(self.sim.now, "node.start", node=self.node_id)
-        self.service.on_init()
+        with tracer.executing(event):
+            self.service.on_init()
 
     def crash(self) -> None:
         """Crash-stop this node: mark down and silence all timers."""
@@ -136,6 +147,7 @@ class Node:
         self._timers.clear()
         self._timer_payloads.clear()
         self._timer_deadlines.clear()
+        self._timer_causes.clear()
         self.started = False
         self.sim.trace.record(self.sim.now, "node.crash", node=self.node_id)
 
@@ -158,9 +170,16 @@ class Node:
             self.service.restore(checkpoint)
         elif fresh_state:
             self.service.restore(self._initial_checkpoint)
-        self.sim.trace.record(self.sim.now, "node.restart", node=self.node_id)
         self.started = True
-        self.service.on_init()
+        tracer = self.sim.causal
+        if tracer is None:
+            self.sim.trace.record(self.sim.now, "node.restart", node=self.node_id)
+            self.service.on_init()
+            return
+        event = tracer.local_event(self.node_id, "restart", root=True)
+        self.sim.trace.record(self.sim.now, "node.restart", node=self.node_id)
+        with tracer.executing(event):
+            self.service.on_init()
 
     # ------------------------------------------------------------------
     # Message path
@@ -218,6 +237,13 @@ class Node:
         self._timers[name] = token
         self._timer_payloads[name] = payload
         self._timer_deadlines[name] = self.sim.now + delay
+        tracer = self.sim.causal
+        if tracer is not None:
+            cause = tracer.current_event_id()
+            if cause is not None:
+                self._timer_causes[name] = cause
+            else:
+                self._timer_causes.pop(name, None)
         self.sim.schedule(
             delay,
             lambda: self._fire_timer(name, token),
@@ -229,6 +255,7 @@ class Node:
         self._timers.pop(name, None)
         self._timer_payloads.pop(name, None)
         self._timer_deadlines.pop(name, None)
+        self._timer_causes.pop(name, None)
 
     def _fire_timer(self, name: str, token: int) -> None:
         if not self.is_up:
@@ -238,7 +265,25 @@ class Node:
         payload = self._timer_payloads.pop(name, None)
         self._timers.pop(name, None)
         self._timer_deadlines.pop(name, None)
+        tracer = self.sim.causal
+        if tracer is None:
+            self.sim.trace.record(self.sim.now, "node.timer", node=self.node_id, name=name)
+            self._dispatch_timer(name, payload)
+            return
+        event = tracer.timer_event(
+            self.node_id, name, self._timer_causes.pop(name, None),
+        )
         self.sim.trace.record(self.sim.now, "node.timer", node=self.node_id, name=name)
+        # Inlined tracer.executing(event) — see transport._deliver.
+        scopes = tracer._current
+        depth = len(scopes)
+        scopes.append(event)
+        try:
+            self._dispatch_timer(name, payload)
+        finally:
+            del scopes[depth:]
+
+    def _dispatch_timer(self, name: str, payload: Any) -> None:
         if self.capture_dispatch:
             self.current_dispatch = DispatchRecord(
                 kind="timer", src=None, msg=None, timer_name=name,
@@ -291,8 +336,18 @@ class Cluster:
         seed: int = 0,
         resolver_factory: Optional[ResolverFactory] = None,
         transport_wrapper: Optional[Callable[[Network], Any]] = None,
+        causal: bool = False,
     ) -> None:
         self.sim = Simulator(seed=seed)
+        # Causal tracing is opt-in: with it on, every send/deliver/
+        # timer/choice record carries a happens-before stamp (see
+        # repro.obs.causal); with it off (the default) the stamp paths
+        # cost one attribute test each.
+        self.causal = None
+        if causal:
+            from ..obs.causal import enable_causal_tracing
+
+            self.causal = enable_causal_tracing(self.sim)
         self.topology = topology if topology is not None else full_mesh(n)
         if self.topology.n < n:
             raise ValueError(f"topology has {self.topology.n} nodes, cluster needs {n}")

@@ -153,3 +153,122 @@ def test_reliable_stats_are_registry_backed():
         "duplicates_suppressed": 0, "gave_up": 0,
     }
     assert layer.metrics.counter("reliable.acked").value == 1
+
+
+# ----------------------------------------------------------------------
+# Causal attribution of retransmissions and duplicates
+# ----------------------------------------------------------------------
+
+
+def make_causal_layer(n=2, seed=9, profile=None, config=None):
+    from repro.obs import enable_causal_tracing
+
+    sim, net, layer, inboxes = make_layer(n=n, seed=seed, config=config,
+                                          profile=profile)
+    tracer = enable_causal_tracing(sim)
+    return sim, net, layer, inboxes, tracer
+
+
+def send_in_dispatch(sim, layer, tracer, src, dst, payload):
+    """Send from inside an (artificial) dispatch scope, the way a
+    service handler would — so the pending send has a causal cause."""
+    root = tracer.local_event(src, "app.op", root=True)
+    sim.trace.record(sim.now, "app.op", node=src)
+    with tracer.executing(root):
+        layer.send(src, dst, payload)
+    return root
+
+
+def test_retransmissions_record_net_retry():
+    sim, net, layer, inboxes = make_layer(
+        profile=LinkFaultProfile(drop=0.99),
+        config=ReliabilityConfig(timeout=0.1, max_retries=3))
+    layer.send(0, 1, "m")
+    sim.run(until=2.0)
+    retries = sim.trace.select("net.retry")
+    assert len(retries) == 3
+    assert retries[0].node == 0
+    assert retries[0].data == {"dst": 1, "seq": 0, "attempt": 2}
+    assert layer.stats["retransmissions"] == 3
+
+
+def test_net_retry_records_identical_with_causal_on():
+    def run(causal):
+        if causal:
+            sim, net, layer, inboxes, tracer = make_causal_layer(
+                profile=LinkFaultProfile(drop=0.99),
+                config=ReliabilityConfig(timeout=0.1, max_retries=3))
+        else:
+            sim, net, layer, inboxes = make_layer(
+                profile=LinkFaultProfile(drop=0.99),
+                config=ReliabilityConfig(timeout=0.1, max_retries=3))
+        layer.send(0, 1, "m")
+        sim.run(until=2.0)
+        return [(r.time, r.node, dict(r.data))
+                for r in sim.trace.select("net.retry")]
+
+    assert run(causal=True) == run(causal=False)
+
+
+def test_retry_attempts_share_the_original_trace():
+    sim, net, layer, inboxes, tracer = make_causal_layer(
+        profile=LinkFaultProfile(drop=0.99),
+        config=ReliabilityConfig(timeout=0.1, max_retries=2))
+    root = send_in_dispatch(sim, layer, tracer, 0, 1, "m")
+    sim.run(until=2.0)
+    root_trace = tracer.trace_of(root)
+    retries = sim.trace.select("net.retry")
+    assert len(retries) == 2
+    for rec in retries:
+        # each retransmission re-entered the original dispatch scope
+        assert rec.causal["in"] == root
+        assert rec.causal["trace"] == root_trace
+    # every dropped attempt still chains back to the original trace
+    drops = [r for r in sim.trace.select("net.drop")
+             if r.data.get("kind") == "DataEnvelope"]
+    assert drops
+    assert {r.causal["trace"] for r in drops} == {root_trace}
+
+
+def test_duplicate_delivery_attributable_to_original_send():
+    from repro.obs import HappensBeforeGraph
+
+    sim, net, layer, inboxes, tracer = make_causal_layer(
+        profile=LinkFaultProfile(duplicate=0.99))
+    send_in_dispatch(sim, layer, tracer, 0, 1, "m")
+    sim.run(until=2.0)
+    assert inboxes[1] == ["m"]  # the layer suppressed the duplicate
+    graph = HappensBeforeGraph.from_trace(sim.trace)
+    dups = [e for e in graph.by_category("net.deliver") if e.dup]
+    assert dups
+    originals = [e for e in graph.by_category("net.deliver") if not e.dup]
+    for dup in dups:
+        parent = graph.event(dup.parent)
+        assert parent is not None and parent.category == "net.send"
+        # the duplicate's cause is the same send as some real delivery
+        assert any(o.parent == dup.parent for o in originals)
+
+
+def test_retry_delivery_carries_attempt_number():
+    # Drop the first transmission deterministically (and nothing else):
+    # the delivery that finally lands must be stamped attempt=2 and
+    # still chain back to the originating dispatch.
+    sim, net, layer, inboxes, tracer = make_causal_layer(
+        config=ReliabilityConfig(timeout=0.1, max_retries=3))
+    chaos = LinkChaos(sim)
+    chaos.set_profile(LinkFaultProfile(drop=0.99))
+    net.add_fault_interposer(chaos)
+    root = send_in_dispatch(sim, layer, tracer, 0, 1, "m")
+    sim.run(until=0.05)          # first attempt dropped
+    chaos.set_profile(LinkFaultProfile())
+    sim.run(until=2.0)           # retry goes through
+    assert inboxes[1] == ["m"]
+    delivers = [r for r in sim.trace.select("net.deliver")
+                if r.data.get("src") == 0]
+    assert delivers
+    landed = delivers[-1]
+    assert landed.causal.get("attempt") == 2
+    from repro.obs import HappensBeforeGraph
+    graph = HappensBeforeGraph.from_trace(sim.trace)
+    chain = graph.chain(landed.causal["ev"])
+    assert chain[0].id == root  # back to the dispatch that sent it

@@ -1,0 +1,123 @@
+"""E6/A7 causal-forensics sessions: end-to-end steering explanations."""
+
+import pytest
+
+from repro.eval import run_trace_session
+
+
+@pytest.fixture(scope="module")
+def e6():
+    return run_trace_session("e6", seed=1)
+
+
+@pytest.fixture(scope="module")
+def a7():
+    return run_trace_session("a7", seed=1)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        run_trace_session("zzz")
+
+
+def test_e6_steers_and_explains(e6):
+    assert e6.filtered > 0
+    assert e6.steering
+    assert e6.events > 0
+
+
+def test_e6_explanations_root_at_the_resolved_choice(e6):
+    # The acceptance property: every steering explanation's chain is
+    # rooted at the resolved choice point (the proposer choice) and
+    # runs through real messages to the steered delivery.
+    for explanation in e6.steering:
+        assert explanation.root is not None
+        assert explanation.root.category == "choice.resolve"
+        assert "proposer" in explanation.root.label
+        cats = explanation.categories()
+        assert "net.send" in cats
+        assert "net.deliver" in cats
+        assert cats[-1] == "runtime.steer"
+
+
+def test_e6_chain_contains_every_message_on_the_causal_path(e6):
+    # Between the choice root and the steered delivery, each hop must
+    # be a send immediately followed by its delivery — no message on
+    # the violation's live causal path is missing from the chain.
+    for explanation in e6.steering:
+        cats = explanation.categories()
+        body = cats[1:-1]  # between choice.resolve and runtime.steer
+        sends = [i for i, c in enumerate(body) if c == "net.send"]
+        assert sends
+        for i in sends:
+            assert body[i + 1] == "net.deliver"
+
+
+def test_e6_predicted_continuation_attached(e6):
+    for explanation in e6.steering:
+        assert explanation.predicted
+        assert any("Accept" in step for step in explanation.predicted)
+
+
+def test_e6_violation_forensics_carry_predicted_paths(e6):
+    assert e6.violations
+    best = e6.violations[0]
+    assert best.reason.startswith("canary-quiet-acceptor")
+    assert best.predicted
+
+
+def test_a7_violation_forensics_anchor_live_sends(a7):
+    # Under chaos the retry sweeps put Prepare traffic on the wire, so
+    # the preferred predicted violation has live message anchors: its
+    # explanation carries a causal prefix ending in anchored sends.
+    assert a7.violations
+    best = a7.violations[0]
+    assert any(s.category == "net.send" for s in best.steps)
+
+
+def test_a7_explanations_survive_message_chaos(a7):
+    assert a7.plan_name == "message-chaos"
+    assert a7.steering
+    for explanation in a7.steering:
+        assert explanation.root.category == "choice.resolve"
+
+
+def test_a7_duplicates_attributable_to_original_sends(a7):
+    assert a7.duplicate_deliveries > 0
+    graph = a7.graph
+    dups = [e for e in graph.by_category("net.deliver") if e.dup]
+    for dup in dups:
+        parent = graph.event(dup.parent)
+        assert parent is not None
+        assert parent.category == "net.send"
+        assert parent.data["dst"] == dup.node
+
+
+def test_a7_violation_explanation_contains_chaos_touched_message(a7):
+    # The predicted violation's causal prefix must mention a message
+    # that chaos interfered with (dropped or duplicated) — the whole
+    # point of forensics under fault injection.
+    assert a7.violations
+    best = a7.violations[0]
+    kinds_on_chain = {
+        s.label.split()[1].split("→")[0]
+        for s in best.steps if s.category == "net.send"
+    }
+    graph = a7.graph
+    chaos_touched = set()
+    for event in graph.by_category("net.deliver"):
+        if event.dup:
+            parent = graph.event(event.parent)
+            if parent is not None:
+                chaos_touched.add(parent.data.get("kind"))
+    for event in graph.by_category("net.drop"):
+        chaos_touched.add(event.data.get("kind"))
+    assert kinds_on_chain & chaos_touched
+
+
+def test_sessions_are_deterministic():
+    first = run_trace_session("e6", seed=2)
+    second = run_trace_session("e6", seed=2)
+    assert first.trace_digest == second.trace_digest
+    assert len(first.steering) == len(second.steering)
+    assert first.summary() == second.summary()

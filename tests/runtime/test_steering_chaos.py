@@ -114,7 +114,8 @@ def test_reordered_copy_still_filtered():
     cluster.run(until=2.0)
     assert cluster.service(0).benign_seen == 1
     assert cluster.service(0).evil_seen == 0
-    steers = cluster.sim.trace.select("runtime.steer")
+    steers = [r for r in cluster.sim.trace.select("runtime.steer")
+              if r.category == "runtime.steer"]  # not .explain
     benigns = cluster.sim.trace.select("net.deliver", node=0)
     assert len(steers) == 1
     # The benign message arrived before the displaced evil one.

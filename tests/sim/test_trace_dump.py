@@ -61,3 +61,55 @@ def test_dump_handles_odd_values(tmp_path):
     log.dump_jsonl(str(path))
     row = json.loads(path.read_text())
     assert "object" in row["obj"]  # repr fallback
+
+
+def test_dump_renders_message_dataclasses_as_typed_objects(tmp_path):
+    # Regression: records carrying a Message used to serialize as its
+    # repr string — unqueryable downstream.  They must round-trip
+    # through json.loads as {"type": <msg_type>, **fields}.
+    from dataclasses import dataclass
+
+    from repro.statemachine import Message
+
+    @dataclass
+    class Ping(Message):
+        seq: int
+        path: tuple
+
+    log = TraceLog()
+    log.record(0.0, "app.sent", node=1, msg=Ping(seq=7, path=(1, 2)))
+    path = tmp_path / "msg.jsonl"
+    log.dump_jsonl(str(path))
+    row = json.loads(path.read_text())
+    assert row["msg"] == {"type": "Ping", "seq": 7, "path": [1, 2]}
+
+
+def test_dump_message_field_name_collision_is_preserved(tmp_path):
+    from dataclasses import dataclass
+
+    from repro.statemachine import Message
+
+    @dataclass
+    class Odd(Message):
+        type: str  # collides with the synthesized "type" key
+
+    log = TraceLog()
+    log.record(0.0, "app.sent", msg=Odd(type="inner"))
+    path = tmp_path / "odd_msg.jsonl"
+    log.dump_jsonl(str(path))
+    row = json.loads(path.read_text())
+    assert row["msg"]["type"] == "Odd"
+    assert row["msg"]["field_type"] == "inner"
+
+
+def test_dump_includes_causal_stamp(tmp_path):
+    log = TraceLog()
+    log._records.append(TraceRecord(
+        time=0.25, category="net.send", node=1, data={"dst": 2},
+        causal={"ev": 4, "trace": 1, "cause": 3, "lc": 2, "vc": {1: 2}},
+    ))
+    path = tmp_path / "stamped.jsonl"
+    log.dump_jsonl(str(path))
+    row = json.loads(path.read_text())
+    assert row["causal"]["ev"] == 4
+    assert row["causal"]["vc"] == {"1": 2}  # json keys become strings

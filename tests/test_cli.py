@@ -40,3 +40,38 @@ def test_parser_defaults():
     args = build_parser().parse_args(["e3"])
     assert args.seeds == [1]
     assert args.variant is None
+
+
+def test_trace_requires_known_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "e2"])
+
+
+def test_trace_explain_prints_causal_chain(capsys):
+    assert main(["trace", "e6", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "steered=" in out
+    assert "choice proposer" in out      # the chain's root
+    assert "steer: drop" in out          # the steering action
+    assert "predicted continuation" in out
+
+
+def test_trace_writes_artifacts(tmp_path, capsys):
+    json_path = tmp_path / "TRACE_EXPLAIN.json"
+    md_path = tmp_path / "TRACE_EXPLAIN.md"
+    jsonl_path = tmp_path / "trace.jsonl"
+    assert main(["trace", "e6", "--json", str(json_path),
+                 "--markdown", str(md_path), "--jsonl", str(jsonl_path)]) == 0
+    import json as jsonlib
+
+    explanation = jsonlib.loads(json_path.read_text())
+    assert explanation["steps"][0]["category"] == "choice.resolve"
+    assert "Causal chain" in md_path.read_text()
+    first = jsonlib.loads(jsonl_path.read_text().splitlines()[0])
+    assert "category" in first
+
+
+def test_trace_markdown_format(capsys):
+    assert main(["trace", "e6", "--explain", "--format", "markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "### Why:" in out
