@@ -24,6 +24,31 @@ from typing import Any, Dict, Optional
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+# Registry of bench ids -> one-line descriptions.  ``python -m repro.cli
+# bench <id>`` resolves ids by filename glob, so this is documentation
+# plus a guard: a bench module whose id is missing here fails setup,
+# keeping the table in sync with the files.
+KNOWN_BENCH_IDS: Dict[str, str] = {
+    "E1": "development-effort metrics",
+    "E2": "RandTree join-phase depth",
+    "E3": "RandTree subtree failure + rejoin depth",
+    "E4": "gossip peer choice on heterogeneous links",
+    "E5": "content-distribution next-block strategy",
+    "E6": "Paxos proposer choice over a loaded WAN",
+    "E7": "consequence-prediction depth/cost sweep",
+    "A1": "checkpoint staleness sensitivity",
+    "A2": "lookahead depth sweep",
+    "A3": "prediction execution modes",
+    "A4": "adaptation under link degradation",
+    "A5": "steady churn",
+    "A6": "cluster-size scaling",
+    "A7": "safety under chaos",
+    "O1": "observability overhead",
+    "O2": "causal tracing overhead",
+    "P1": "prediction hot path (digests, pooling, parallelism)",
+    "P2": "cross-round incremental prediction + delta checkpoints",
+}
+
 # Per-bench-id accumulators, flushed to BENCH_<ID>.json at session end.
 _RESULTS: Dict[str, Dict[str, Any]] = {}
 _CURRENT_ID: Optional[str] = None
@@ -108,6 +133,11 @@ def write_bench_json(bench_id: str) -> Path:
 def pytest_runtest_setup(item) -> None:
     global _CURRENT_ID
     _CURRENT_ID = bench_id_of(item.fspath)
+    if _CURRENT_ID is not None and _CURRENT_ID not in KNOWN_BENCH_IDS:
+        raise RuntimeError(
+            f"bench id {_CURRENT_ID!r} is not registered in "
+            f"benchmarks/conftest.py KNOWN_BENCH_IDS"
+        )
 
 
 def pytest_runtest_logreport(report) -> None:

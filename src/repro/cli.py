@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli trace a7 --explain --format markdown \\
         --json TRACE_EXPLAIN.json --markdown TRACE_EXPLAIN.md
     python -m repro.cli bench p1 --quick
+    python -m repro.cli bench p2 --quick
     python -m repro.cli report e2 --variant choice-crystalball --seed 1 \\
         --json RUN_REPORT.json --markdown RUN_REPORT.md
 
@@ -256,6 +257,9 @@ def _cmd_trace(args) -> int:
         args.experiment, seed=args.seed, keep_cluster=bool(args.jsonl),
     )
     print(session.summary())
+    if session.prediction:
+        import json as _json
+        print(f"prediction: {_json.dumps(session.prediction, sort_keys=True)}")
     explanations = session.steering + session.violations
     if args.explain:
         if not explanations:
@@ -314,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run one benchmark suite and report its BENCH_<ID>.json path",
     )
-    p.add_argument("id", help="bench id, e.g. e7 or p1 (matches "
+    p.add_argument("id", help="bench id, e.g. e7, p1, or p2 (matches "
                               "benchmarks/bench_<id>*.py)")
     p.add_argument("--quick", action="store_true",
                    help="reduced iterations (sets REPRO_BENCH_QUICK=1)")

@@ -76,6 +76,7 @@ class TraceSession:
     violations: List[CausalExplanation] = field(default_factory=list)
     graph: Optional[HappensBeforeGraph] = None
     cluster: Optional[Any] = None
+    prediction: Optional[dict] = None
 
     def best_explanation(self) -> Optional[CausalExplanation]:
         """The explanation a CLI/artifact should lead with: the first
@@ -191,6 +192,7 @@ def run_trace_session(
         steering=steering,
         violations=violations,
         graph=graph,
+        prediction=report.summary(),
     )
     if keep_cluster:
         session.cluster = cluster

@@ -14,6 +14,7 @@ from .actions import (
     TimerAction,
     action_key,
 )
+from .chain_memo import ChainMemo, ChainRecorder, Footprint
 from .consequence import (
     ActionOutcome,
     ConsequencePredictor,
@@ -42,6 +43,9 @@ __all__ = [
     "InjectAction",
     "TimerAction",
     "action_key",
+    "ChainMemo",
+    "ChainRecorder",
+    "Footprint",
     "ActionOutcome",
     "ConsequencePredictor",
     "PredictionReport",

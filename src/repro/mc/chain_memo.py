@@ -1,0 +1,516 @@
+"""Cross-round memoization of consequence-prediction chains.
+
+The steady-state prediction loop re-explores the full causal chain of
+every enabled action each period even though consecutive snapshot
+worlds are nearly identical — the same amortize-across-invocations
+insight behind the paper's Section 3.4 "choices based on previous
+similar scenarios" fast path, applied to exploration itself instead of
+choice resolution.
+
+A :class:`ChainMemo` caches, per initial action key, the outcome of
+one chain exploration together with its *causal footprint*: digests of
+exactly the world inputs the chain read —
+
+* the states of every node it materialized (plus the down set);
+* the property-verdict environment its safety checks depended on;
+* the root's time and the network-model delays, when the chain
+  observed the clock;
+* the ``(key, delay)`` sequence of root timers it re-armed or fired;
+* the root's in-flight-message and pending-timer key sequences
+  restricted to the chain's event universe (order matters: scan order
+  determines action order, which determines report serialization).
+
+On the next round the footprint is re-evaluated against the new root;
+if every component matches, the cached outcome is *rebased* onto the
+new root by replaying stored per-world deltas (changed node states,
+event multiset diffs), producing worlds byte-identical — digest for
+digest — to what a fresh exploration would have built.  Anything else
+is a miss and the chain is re-explored.
+
+Budget accounting stays deterministic: an entry records the budget it
+ran under, whether it was truncated, and the maximum in-progress state
+count at any budget check; it is reused only for budgets that provably
+take the identical truncation path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .actions import Action
+from .explorer import Explorer, Violation
+from .world import InFlightMessage, PendingTimer, WorldState
+
+ENV_NONE = 0
+ENV_STATES = 1
+ENV_WORLD = 2
+
+
+class ChainRecorder:
+    """Collects the causal footprint of one chain exploration.
+
+    Installed on the :class:`~repro.mc.explorer.Explorer` as
+    ``explorer.recorder`` for the duration of a single chain; the
+    explorer's materialization, enumeration, delay, and rearm paths
+    feed it, and ``_explore_chain`` feeds the event universe and the
+    budget-accounting fields.
+    """
+
+    __slots__ = ("nodes", "events", "rearms", "delays", "time_read",
+                 "truncated", "max_pending")
+
+    def __init__(self) -> None:
+        self.nodes: Set[int] = set()
+        self.events: Set[Tuple] = set()
+        self.rearms: Set[Tuple[int, str]] = set()
+        self.delays: List[Tuple[int, int, int, float]] = []
+        self.time_read = False
+        self.truncated = False
+        # Highest outcome.states seen at a budget check with work still
+        # stacked; any budget strictly above it provably never truncates.
+        self.max_pending = -1
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """What a cached chain read, as a recomputable specification."""
+
+    nodes: Tuple[int, ...]
+    env_level: int
+    prop_gates: Tuple[str, ...]
+    time_read: bool
+    rearms: FrozenSet[Tuple[int, str]]
+    events: FrozenSet[Tuple]
+    delays: Tuple[Tuple[int, int, int, float], ...]
+
+
+@dataclass
+class _WorldPatch:
+    """Delta from a root world to one stored chain world."""
+
+    states: Dict[int, Dict[str, Any]]
+    digests: Dict[int, str]
+    removed_msgs: Tuple[Tuple, ...]
+    added_msgs: Tuple[InFlightMessage, ...]
+    removed_timers: Tuple[Tuple[Tuple, float], ...]
+    added_timers: Tuple[PendingTimer, ...]
+    dt: float
+    ddepth: int
+
+
+@dataclass
+class _CachedChain:
+    """One memoized chain exploration."""
+
+    footprint: Footprint
+    value: Tuple
+    budget_given: int
+    truncated: bool
+    max_pending: int
+    states: int
+    leaf_patches: Tuple[_WorldPatch, ...]
+    violations: Tuple[Tuple[str, Tuple[Action, ...], _WorldPatch], ...]
+
+
+# ----------------------------------------------------------------------
+# Footprint evaluation
+# ----------------------------------------------------------------------
+
+def _ordered_msg_keys(world: WorldState) -> List[Tuple]:
+    keys = getattr(world, "_memo_msg_keys", None)
+    if keys is None:
+        keys = [m.key() for m in world.inflight]
+        world._memo_msg_keys = keys
+    return keys
+
+
+def _ordered_timer_keys(world: WorldState) -> List[Tuple]:
+    keys = getattr(world, "_memo_timer_keys", None)
+    if keys is None:
+        keys = [t.key() for t in world.timers]
+        world._memo_timer_keys = keys
+    return keys
+
+
+def _states_env(world: WorldState) -> Tuple:
+    """Digest of every node state plus the down set, cached per world."""
+    cached = getattr(world, "_memo_env", None)
+    if cached is None:
+        cached = (
+            tuple((nid, world._node_digest(nid)) for nid in sorted(world.node_states)),
+            tuple(sorted(world.down)),
+        )
+        world._memo_env = cached
+    return cached
+
+
+def footprint_value(root: WorldState, fp: Footprint) -> Tuple:
+    """Evaluate a footprint specification against a root world.
+
+    Computed identically at store time (against the old root) and at
+    lookup time (against the new root); equality of the two values is
+    the reuse condition (property gates and delay drift are checked
+    separately — they are predicates, not values).
+    """
+    parts: List[Any] = [root.down]
+    node_states = root.node_states
+    parts.append(tuple(
+        (nid, root._node_digest(nid) if nid in node_states else None)
+        for nid in fp.nodes
+    ))
+    if fp.env_level == ENV_STATES:
+        parts.append(_states_env(root))
+    elif fp.env_level == ENV_WORLD:
+        parts.append((root.digest(), root.time))
+    if fp.time_read:
+        parts.append(root.time)
+    if fp.rearms:
+        rearms = fp.rearms
+        parts.append(tuple(
+            (t.key(), t.delay) for t in root.timers if (t.node, t.name) in rearms
+        ))
+    if fp.events:
+        events = fp.events
+        parts.append(tuple(k for k in _ordered_msg_keys(root) if k in events))
+        parts.append(tuple(k for k in _ordered_timer_keys(root) if k in events))
+    return tuple(parts)
+
+
+def _gates_open(root: WorldState, fp: Footprint) -> bool:
+    """Whether every gated property verdict holds at the new root."""
+    if not fp.prop_gates:
+        return True
+    cache = getattr(root, "_prop_cache", None)
+    if not cache:
+        return False
+    return all(cache.get(name) is True for name in fp.prop_gates)
+
+
+def _delays_match(fp: Footprint, network_model) -> bool:
+    """Re-verify recorded delivery delays against the (possibly
+    mutated) network model — only needed when the chain read time."""
+    if not fp.time_read or not fp.delays:
+        return True
+    if network_model is None:
+        return True
+    transfer_time = network_model.transfer_time
+    for src, dst, size, delay in fp.delays:
+        if transfer_time(src, dst, size) != delay:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# World patching
+# ----------------------------------------------------------------------
+
+def _timer_id_counter(world: WorldState) -> Counter:
+    return Counter((t.key(), t.delay) for t in world.timers)
+
+
+def _make_patch(root: WorldState, world: WorldState) -> _WorldPatch:
+    """Delta that rebuilds ``world`` from ``root`` (or any root whose
+    footprint-relevant parts are identical)."""
+    root_states = root.node_states
+    states = {
+        nid: s for nid, s in world.node_states.items()
+        if root_states.get(nid) is not s
+    }
+    digests = {nid: world._node_digest(nid) for nid in states}
+
+    root_msgs = Counter(_ordered_msg_keys(root))
+    world_msgs = Counter(_ordered_msg_keys(world))
+    removed_msgs = tuple((root_msgs - world_msgs).elements())
+    need = world_msgs - root_msgs
+    added_msgs: List[InFlightMessage] = []
+    if need:
+        pending = Counter(need)
+        # Reverse scan: chain-created events sit at the tail, and a key
+        # present in both root and chain worlds must resolve to the
+        # chain's instances (last occurrences), preserving list order.
+        for m in reversed(world.inflight):
+            key = m.key()
+            if pending.get(key, 0) > 0:
+                pending[key] -= 1
+                added_msgs.append(m)
+        added_msgs.reverse()
+
+    root_timers = _timer_id_counter(root)
+    world_timers = _timer_id_counter(world)
+    removed_timers = tuple((root_timers - world_timers).elements())
+    need_t = world_timers - root_timers
+    added_timers: List[PendingTimer] = []
+    if need_t:
+        pending_t = Counter(need_t)
+        for t in reversed(world.timers):
+            tid = (t.key(), t.delay)
+            if pending_t.get(tid, 0) > 0:
+                pending_t[tid] -= 1
+                added_timers.append(t)
+        added_timers.reverse()
+
+    return _WorldPatch(
+        states=states,
+        digests=digests,
+        removed_msgs=removed_msgs,
+        added_msgs=tuple(added_msgs),
+        removed_timers=removed_timers,
+        added_timers=tuple(added_timers),
+        dt=world.time - root.time,
+        ddepth=world.depth - root.depth,
+    )
+
+
+def _apply_patch(root: WorldState, patch: _WorldPatch) -> WorldState:
+    """Rebase a stored chain world onto a new root.
+
+    Produces a world digest-identical to what re-exploring the chain
+    from ``root`` would have built, at O(delta) cost.
+    """
+    node_states = dict(root.node_states)
+    node_states.update(patch.states)
+    inflight = list(root.inflight)
+    for key in patch.removed_msgs:
+        for index, m in enumerate(inflight):
+            if m.key() == key:
+                del inflight[index]
+                break
+        else:
+            raise LookupError(f"message to remove not in root: {key!r}")
+    inflight.extend(patch.added_msgs)
+    timers = list(root.timers)
+    for tid in patch.removed_timers:
+        for index, t in enumerate(timers):
+            if (t.key(), t.delay) == tid:
+                del timers[index]
+                break
+        else:
+            raise LookupError(f"timer to remove not in root: {tid!r}")
+    timers.extend(patch.added_timers)
+    world = WorldState(
+        node_states=node_states,
+        inflight=inflight,
+        timers=timers,
+        down=root.down,
+        time=root.time + patch.dt,
+        depth=root.depth + patch.ddepth,
+        copy_states=False,
+    )
+    world._digest_parent = root
+    world._node_digests.update(patch.digests)
+    return world
+
+
+# ----------------------------------------------------------------------
+# The memo
+# ----------------------------------------------------------------------
+
+class ChainMemo:
+    """LRU cache of chain explorations keyed by initial action.
+
+    Thread-safe (the parallel predictor looks up and stores from worker
+    threads).  ``bind()`` ties the memo to an exploration configuration
+    and flushes it when the configuration changes; ``invalidate()`` is
+    the hook for external world-model changes (topology, chaos,
+    steering installs) that footprints cannot see.
+    """
+
+    def __init__(self, max_entries: int = 256, variants_per_action: int = 4) -> None:
+        self.max_entries = max_entries
+        self.variants_per_action = variants_per_action
+        self._entries: "OrderedDict[Tuple, List[_CachedChain]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._count = 0
+        self._config: Optional[Tuple] = None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.rebase_errors = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def bind(self, config: Tuple) -> None:
+        """Flush if the exploration configuration changed."""
+        with self._lock:
+            if self._config is not None and self._config != config:
+                self._invalidate_locked()
+            self._config = config
+
+    def invalidate(self, reason: str = "") -> None:
+        """Drop every entry (topology/chaos/steering changed)."""
+        with self._lock:
+            self._invalidate_locked()
+
+    def _invalidate_locked(self) -> None:
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+        self._count = 0
+
+    # -- read path ------------------------------------------------------
+
+    def lookup(
+        self,
+        root: WorldState,
+        action: Action,
+        budget: int,
+        explorer: Explorer,
+    ) -> Optional[Tuple[int, List[Violation], List[WorldState]]]:
+        """``(states, violations, leaf_worlds)`` rebased onto ``root``
+        if a cached chain's footprint matches, else ``None``."""
+        key = action.key()
+        with self._lock:
+            chains = self._entries.get(key)
+            if chains:
+                self._entries.move_to_end(key)
+                candidates = list(chains)
+            else:
+                candidates = []
+        for chain in reversed(candidates):  # newest first
+            if not (budget == chain.budget_given
+                    or (not chain.truncated and budget > chain.max_pending)):
+                continue
+            fp = chain.footprint
+            if not _gates_open(root, fp):
+                continue
+            if footprint_value(root, fp) != chain.value:
+                continue
+            if not _delays_match(fp, explorer.network_model):
+                continue
+            rebased = self._rebase(root, chain)
+            if rebased is None:
+                continue
+            with self._lock:
+                self.hits += 1
+            return rebased
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def _rebase(
+        self, root: WorldState, chain: _CachedChain
+    ) -> Optional[Tuple[int, List[Violation], List[WorldState]]]:
+        try:
+            violations = [
+                Violation(property_name=name, path=path,
+                          world=_apply_patch(root, patch))
+                for name, path, patch in chain.violations
+            ]
+            leaves = [_apply_patch(root, patch) for patch in chain.leaf_patches]
+        except Exception:
+            # A footprint mismatch the value comparison failed to catch
+            # would be a bug; degrade to a miss rather than crash the
+            # prediction loop, and count it so tests can assert zero.
+            with self._lock:
+                self.rebase_errors += 1
+            return None
+        return chain.states, violations, leaves
+
+    # -- write path -----------------------------------------------------
+
+    def store(
+        self,
+        root: WorldState,
+        action: Action,
+        budget: int,
+        outcome,
+        recorder: ChainRecorder,
+        explorer: Explorer,
+    ) -> None:
+        """Memoize a freshly explored chain with its footprint."""
+        env = ENV_NONE
+        gates: List[str] = []
+        cache = getattr(root, "_prop_cache", {})
+        violated = {v.property_name for v in outcome.violations}
+        for prop in explorer.properties:
+            scope = getattr(prop, "scope", "world")
+            if scope == "nodes":
+                # Chains downstream of a violated per-node property do
+                # full scans; so do chains rooted where the verdict was
+                # not already True.  Either escalates to the full-state
+                # environment; otherwise the root verdict is the gate.
+                if cache.get(prop.name) is True and prop.name not in violated:
+                    gates.append(prop.name)
+                else:
+                    env = max(env, ENV_STATES)
+            elif scope == "states":
+                env = max(env, ENV_STATES)
+            else:
+                env = max(env, ENV_WORLD)
+        fp = Footprint(
+            nodes=tuple(sorted(recorder.nodes)),
+            env_level=env,
+            prop_gates=tuple(gates),
+            time_read=recorder.time_read,
+            rearms=frozenset(recorder.rearms),
+            events=frozenset(recorder.events),
+            delays=tuple(recorder.delays),
+        )
+        chain = _CachedChain(
+            footprint=fp,
+            value=footprint_value(root, fp),
+            budget_given=budget,
+            truncated=recorder.truncated,
+            max_pending=recorder.max_pending,
+            states=outcome.states,
+            leaf_patches=tuple(
+                _make_patch(root, world) for world in outcome.leaf_worlds
+            ),
+            violations=tuple(
+                (v.property_name, v.path, _make_patch(root, v.world))
+                for v in outcome.violations
+            ),
+        )
+        key = action.key()
+        with self._lock:
+            chains = self._entries.get(key)
+            if chains is None:
+                chains = self._entries[key] = []
+            chains.append(chain)
+            self._count += 1
+            self._entries.move_to_end(key)
+            while len(chains) > self.variants_per_action:
+                chains.pop(0)
+                self._count -= 1
+                self.evictions += 1
+            while self._count > self.max_entries and len(self._entries) > 1:
+                old_key, old_chains = self._entries.popitem(last=False)
+                if old_key == key:
+                    # Never evict the entry just stored; put it back.
+                    self._entries[old_key] = old_chains
+                    self._entries.move_to_end(old_key)
+                    break
+                self._count -= len(old_chains)
+                self.evictions += len(old_chains)
+            self.stores += 1
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Memo effectiveness counters, JSON-able."""
+        with self._lock:
+            return {
+                "entries": self._count,
+                "actions": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "rebase_errors": self.rebase_errors,
+                "hit_rate": self.hit_rate,
+            }
+
+
+__all__ = ["ChainMemo", "ChainRecorder", "Footprint", "footprint_value"]

@@ -16,11 +16,13 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..choice.objectives import Objective, SAFETY_PENALTY
 from ..obs import MetricsRegistry
+from ..statemachine.serialization import digest_of_frozen
 from .actions import Action
+from .chain_memo import ChainMemo, ChainRecorder
 from .explorer import (
     Explorer,
     Violation,
@@ -52,6 +54,10 @@ class PredictionReport:
     outcomes: List[ActionOutcome] = field(default_factory=list)
     total_states: int = 0
     budget_exhausted: bool = False
+    # Memo accounting for this prediction pass; excluded from equality
+    # so memo-on and memo-off reports compare equal.
+    memo_hits: int = field(default=0, compare=False)
+    memo_misses: int = field(default=0, compare=False)
     _index: Optional[Dict[Tuple, ActionOutcome]] = field(
         default=None, repr=False, compare=False
     )
@@ -60,6 +66,51 @@ class PredictionReport:
     def unsafe_actions(self) -> List[Action]:
         """Initial actions predicted to lead to a violation."""
         return [o.action for o in self.outcomes if not o.is_safe]
+
+    def dump(self) -> Tuple:
+        """Canonical hashable form of the report's *predictive content*.
+
+        Includes everything steering and choice resolution consume —
+        initial action keys in order, per-outcome state counts,
+        violations (name, path, world digest) and leaf-world digests in
+        exploration order — and excludes memo accounting.  Two
+        prediction passes are byte-identical iff their dumps are equal.
+        """
+        return (
+            self.total_states,
+            self.budget_exhausted,
+            tuple(
+                (
+                    o.action.key(),
+                    o.states,
+                    tuple(
+                        (v.property_name,
+                         tuple(a.key() for a in v.path),
+                         v.world.digest())
+                        for v in o.violations
+                    ),
+                    tuple(w.digest() for w in o.leaf_worlds),
+                )
+                for o in self.outcomes
+            ),
+        )
+
+    def digest(self) -> str:
+        """Stable hex digest of :meth:`dump`."""
+        return digest_of_frozen(self.dump())
+
+    def summary(self) -> Dict[str, Any]:
+        """Small JSON-able digest of the pass, for run reports."""
+        violations = sum(len(o.violations) for o in self.outcomes)
+        return {
+            "actions": len(self.outcomes),
+            "total_states": self.total_states,
+            "unsafe_actions": sum(1 for o in self.outcomes if not o.is_safe),
+            "violations": violations,
+            "budget_exhausted": self.budget_exhausted,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
 
     def outcome_for(self, action_key: Tuple) -> Optional[ActionOutcome]:
         """The outcome whose initial action has the given key.
@@ -92,6 +143,7 @@ class ConsequencePredictor:
         budget: int = 2_000,
         workers: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        memo: Optional[ChainMemo] = None,
     ) -> None:
         if chain_depth < 1:
             raise ValueError(f"chain_depth must be >= 1, got {chain_depth}")
@@ -104,6 +156,20 @@ class ConsequencePredictor:
         # None means fully uninstrumented (not even counters) — the
         # predictor is the hot path, so the baseline stays untouched.
         self.metrics = metrics
+        # Cross-round chain memo (owned by the caller, typically the
+        # controller, so it survives predictor instances).  Bound to
+        # this exploration configuration: a memo reused across a config
+        # change flushes instead of serving stale chains.
+        self.memo = memo
+        if memo is not None:
+            memo.bind((
+                chain_depth,
+                explorer.rng_seed,
+                explorer.max_choice_variants,
+                explorer.include_drops,
+                tuple((p.name, getattr(p, "scope", "world"))
+                      for p in explorer.properties),
+            ))
 
     def predict(self, world: WorldState) -> PredictionReport:
         """Explore the causal chains of every enabled action."""
@@ -116,8 +182,12 @@ class ConsequencePredictor:
         # report, matching the original behavior).
         self.explorer.check(world)
         actions = self.explorer.enabled_actions(world)
+        # One entry per chain explored this pass: True for a memo hit.
+        # A plain list: worker threads append concurrently (atomic under
+        # the GIL) and the totals fold in after the merge.
+        tallies: List[bool] = []
         if self.workers > 1 and len(actions) > 1:
-            outcomes = self._explore_parallel(world, actions)
+            outcomes = self._explore_parallel(world, actions, tallies)
         else:
             outcomes = None
         report = PredictionReport()
@@ -127,24 +197,33 @@ class ConsequencePredictor:
                 report.budget_exhausted = True
                 break
             if outcomes is None:
-                outcome = self._explore_chain(self.explorer, world, action, remaining)
+                outcome = self._explore_chain_memo(
+                    self.explorer, world, action, remaining, tallies
+                )
             else:
                 outcome = outcomes[index]
                 if outcome.states >= remaining and remaining < self.budget:
                     # The serial pass would have truncated this chain:
                     # replay it with the exact remaining budget (chain
                     # exploration is deterministic) so both modes agree.
-                    outcome = self._explore_chain(
-                        self.explorer, world, action, remaining
+                    outcome = self._explore_chain_memo(
+                        self.explorer, world, action, remaining, tallies
                     )
             report.outcomes.append(outcome)
             report.total_states += outcome.states
+        report.memo_hits = sum(1 for hit in tallies if hit)
+        report.memo_misses = len(tallies) - report.memo_hits
         if metrics is not None:
             metrics.counter("mc.predictions").inc()
             metrics.counter("mc.states").inc(report.total_states)
             pool = self.explorer.pool
             if pool is not None:
                 metrics.gauge("mc.pool.hit_rate").set(pool.hit_rate)
+            if self.memo is not None:
+                metrics.counter("mc.memo.hits").inc(report.memo_hits)
+                metrics.counter("mc.memo.misses").inc(report.memo_misses)
+                metrics.gauge("mc.memo.entries").set(len(self.memo))
+                metrics.gauge("mc.memo.hit_rate").set(self.memo.hit_rate)
         if timed:
             elapsed = perf_counter() - started
             metrics.histogram("mc.predict.seconds").observe(elapsed)
@@ -154,7 +233,7 @@ class ConsequencePredictor:
         return report
 
     def _explore_parallel(
-        self, world: WorldState, actions: List[Action]
+        self, world: WorldState, actions: List[Action], tallies: List[bool]
     ) -> List[ActionOutcome]:
         """Explore every chain concurrently, each with the full budget
         (the upper bound of what any serial chain could receive)."""
@@ -164,8 +243,8 @@ class ConsequencePredictor:
 
         def run(action: Action) -> ActionOutcome:
             start = perf_counter() if timed else 0.0
-            outcome = self._explore_chain(
-                self.explorer.spawn(), world, action, self.budget
+            outcome = self._explore_chain_memo(
+                self.explorer.spawn(), world, action, self.budget, tallies
             )
             if timed:
                 chain_times.append(perf_counter() - start)
@@ -182,9 +261,42 @@ class ConsequencePredictor:
                 metrics.gauge("mc.workers.utilization").set(min(1.0, busy))
         return results
 
+    def _explore_chain_memo(
+        self,
+        explorer: Explorer,
+        root: WorldState,
+        action: Action,
+        budget: int,
+        tallies: List[bool],
+    ) -> ActionOutcome:
+        """Memo-aware chain exploration: serve a cached chain rebased
+        onto ``root`` when its footprint matches, else explore fresh
+        under a recorder and store the result."""
+        memo = self.memo
+        if memo is None:
+            return self._explore_chain(explorer, root, action, budget)
+        cached = memo.lookup(root, action, budget, explorer)
+        if cached is not None:
+            tallies.append(True)
+            states, violations, leaves = cached
+            return ActionOutcome(
+                action=action, violations=violations,
+                leaf_worlds=leaves, states=states,
+            )
+        tallies.append(False)
+        recorder = ChainRecorder()
+        explorer.recorder = recorder
+        try:
+            outcome = self._explore_chain(explorer, root, action, budget)
+        finally:
+            explorer.recorder = None
+        memo.store(root, action, budget, outcome, recorder, explorer)
+        return outcome
+
     def _explore_chain(
         self, explorer: Explorer, root: WorldState, action: Action, budget: int
     ) -> ActionOutcome:
+        recorder = explorer.recorder
         outcome = ActionOutcome(action=action)
         # Stack entries: (world, causal frontier of event keys, path, depth).
         stack: List[Tuple[WorldState, Set[Tuple], Tuple[Action, ...], int]] = []
@@ -196,9 +308,19 @@ class ConsequencePredictor:
                     Violation(property_name=name, path=path, world=successor)
                 )
             frontier = created_event_keys(root, successor)
+            if recorder is not None:
+                recorder.events |= frontier
             stack.append((successor, frontier, path, 1))
+        if recorder is not None:
+            consumed0 = consumed_event_key(action)
+            if consumed0 is not None:
+                recorder.events.add(consumed0)
         while stack:
+            if recorder is not None and outcome.states > recorder.max_pending:
+                recorder.max_pending = outcome.states
             if outcome.states >= budget:
+                if recorder is not None:
+                    recorder.truncated = True
                 break
             world, frontier, path, depth = stack.pop()
             if depth >= self.chain_depth or not frontier:
@@ -224,6 +346,8 @@ class ConsequencePredictor:
                             Violation(property_name=name, path=new_path, world=successor)
                         )
                     new_frontier = (frontier - {consumed}) | created_event_keys(world, successor)
+                    if recorder is not None:
+                        recorder.events |= new_frontier
                     stack.append((successor, new_frontier, new_path, depth + 1))
         return outcome
 

@@ -155,6 +155,10 @@ class Explorer:
         self.pool: Optional[ServicePool] = (
             ServicePool(service_factory) if service_pooling else None
         )
+        # Chain-memo footprint recorder; installed per chain by the
+        # predictor's memoized path, None on every other code path so
+        # the hot path pays one attribute check.
+        self.recorder = None
 
     def spawn(self) -> "Explorer":
         """A configuration clone with its own service pool.
@@ -181,6 +185,8 @@ class Explorer:
         self, world: WorldState, node_id: int, readonly: bool = False
     ) -> Service:
         """Instantiate the node's service from its checkpoint in ``world``."""
+        if self.recorder is not None:
+            self.recorder.nodes.add(node_id)
         if self.pool is not None:
             return self.pool.acquire(world, node_id, readonly=readonly)
         service = self.service_factory(node_id)
@@ -206,6 +212,7 @@ class Explorer:
         """
         actions: List[Action] = []
         seen_messages = set()
+        recorder = self.recorder
         # Message and timer keys are structurally disjoint (a message
         # key is (src, dst:int, payload); a timer key is (node,
         # name:str, payload)), so the filter splits once and whole
@@ -225,6 +232,11 @@ class Explorer:
                 seen_messages.add(key)
                 if msg_filter is not None and key not in msg_filter:
                     continue
+                if recorder is not None:
+                    # The up/known checks below read this destination's
+                    # membership, so it is part of the footprint even if
+                    # it never materializes.
+                    recorder.nodes.add(message.dst)
                 if not world.is_up(message.dst) or message.dst not in world.node_states:
                     continue
                 service = materialized.get(message.dst)
@@ -240,6 +252,8 @@ class Explorer:
             for timer in world.timers:
                 if timer_filter is not None and timer.key() not in timer_filter:
                     continue
+                if recorder is not None:
+                    recorder.nodes.add(timer.node)
                 if world.is_up(timer.node) and timer.node in world.node_states:
                     actions.append(TimerAction(node=timer.node, name=timer.name, payload=timer.payload))
         if self.include_drops and (msg_filter is None or msg_filter):
@@ -288,7 +302,10 @@ class Explorer:
         if self.network_model is None:
             return DEFAULT_STEP_TIME
         size = msg.wire_size() if hasattr(msg, "wire_size") else 1024
-        return self.network_model.transfer_time(src, dst, size)
+        delay = self.network_model.transfer_time(src, dst, size)
+        if self.recorder is not None:
+            self.recorder.delays.append((src, dst, size, delay))
+        return delay
 
     def _apply_deliver(self, world: WorldState, action: DeliverAction) -> List[WorldState]:
         def invoke(service: Service) -> None:
@@ -344,6 +361,7 @@ class Explorer:
         results: List[Tuple[Dict[str, Any], Any]] = []
         stack: List[List[Any]] = [[]]
         expansions = 0
+        recorder = self.recorder
         while stack:
             script = stack.pop()
             service = self.materialize(world, node_id)
@@ -352,16 +370,20 @@ class Explorer:
                 rng_seed=self.rng_seed,
             )
             service.ctx = ctx
+            branched = False
             try:
                 invoke(service)
             except ChoiceRequested as request:
+                branched = True
                 expansions += 1
-                if expansions > self.max_choice_variants:
-                    continue  # bound the blow-up; drop this branch family
-                for candidate in reversed(request.point.candidates):
-                    stack.append(list(request.consumed) + [candidate])
-                continue
-            results.append((service.checkpoint(), ctx.effects))
+                # Past the bound, the branch family is dropped entirely.
+                if expansions <= self.max_choice_variants:
+                    for candidate in reversed(request.point.candidates):
+                        stack.append(list(request.consumed) + [candidate])
+            if recorder is not None and ctx.time_read:
+                recorder.time_read = True
+            if not branched:
+                results.append((service.checkpoint(), ctx.effects))
         return results
 
     def _build_successor(
@@ -383,6 +405,12 @@ class Explorer:
             PendingTimer(node=node_id, name=name, payload=payload, delay=delay)
             for name, delay, payload in effects.timers_set
         ]
+        if self.recorder is not None:
+            # Every (node, name) this step cancels, fires, or re-arms:
+            # evolve() removes matching *root* timers wholesale, so the
+            # memo must pin their (key, delay) sequence in the root.
+            self.recorder.rearms.update(remove_timers)
+            self.recorder.rearms.update((t.node, t.name) for t in add_timers)
         # checkpoint comes from Service.checkpoint(), already a fresh
         # deep copy nothing else aliases, so the world adopts it as-is.
         return world.evolve(

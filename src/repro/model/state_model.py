@@ -39,6 +39,10 @@ class StateModel:
     def __init__(self, owner_id: int) -> None:
         self.owner_id = owner_id
         self._checkpoints: Dict[int, NeighborCheckpoint] = {}
+        # Delta baselines: the last full checkpoint per sender that
+        # deltas may be patched against.  Kept here (not in the
+        # controller) so forgetting a node drops its baseline too.
+        self._baselines: Dict[int, NeighborCheckpoint] = {}
 
     def update(
         self,
@@ -77,9 +81,33 @@ class StateModel:
         """Latest checkpoint for ``node_id`` (or ``None``)."""
         return self._checkpoints.get(node_id)
 
+    def set_baseline(self, node_id: int, epoch: int) -> Optional[NeighborCheckpoint]:
+        """Adopt the stored checkpoint for ``node_id`` as the delta
+        baseline, if it is exactly ``epoch`` (i.e. the full checkpoint
+        just folded in was not dropped as stale).  Returns the adopted
+        baseline, or ``None`` if none was installed.
+
+        The baseline aliases the stored :class:`NeighborCheckpoint`
+        object, which is never mutated — ``update`` replaces entries
+        wholesale — so no extra copy is needed.
+        """
+        cp = self._checkpoints.get(node_id)
+        if cp is None or cp.epoch != epoch:
+            return None
+        current = self._baselines.get(node_id)
+        if current is not None and current.epoch > epoch:
+            return None
+        self._baselines[node_id] = cp
+        return cp
+
+    def baseline(self, node_id: int) -> Optional[NeighborCheckpoint]:
+        """The delta baseline held for ``node_id`` (or ``None``)."""
+        return self._baselines.get(node_id)
+
     def forget(self, node_id: int) -> None:
         """Drop what we know about ``node_id`` (e.g. it crashed)."""
         self._checkpoints.pop(node_id, None)
+        self._baselines.pop(node_id, None)
 
     def known_nodes(self) -> List[int]:
         """Node ids with a stored checkpoint, ascending."""

@@ -79,6 +79,11 @@ class Network:
         # payload — the adversarial end of the fault spectrum, layered
         # on top of the benign link loss model below.
         self._fault_interposers: List[Any] = []
+        # Topology listeners: called with a kind string ("partition",
+        # "heal", "break") whenever connectivity changes.  CrystalBall
+        # runtimes subscribe to invalidate their prediction memos —
+        # connectivity is an input every cached chain implicitly read.
+        self.topology_listeners: List[Any] = []
         # Traffic counters live in the metrics registry (a private one
         # unless a shared registry is passed in); the historical
         # ``messages_sent``/... attributes remain as live properties.
@@ -165,10 +170,23 @@ class Network:
         Nodes absent from every group form an implicit extra group.
         """
         self._partition_groups = [set(g) for g in groups]
+        self._notify_topology("partition")
 
     def clear_partition(self) -> None:
         """Heal any installed partition."""
         self._partition_groups = None
+        self._notify_topology("heal")
+
+    def _notify_topology(self, kind: str) -> None:
+        for listener in list(self.topology_listeners):
+            try:
+                listener(kind)
+            except Exception:
+                # Listeners are best-effort observers; never let one
+                # break connectivity management.
+                self.sim.trace.record(
+                    self.sim.now, "net.topology_listener_error", kind=kind,
+                )
 
     # ------------------------------------------------------------------
     # Fault interposers
@@ -388,6 +406,7 @@ class Network:
         self._last_delivery.pop((a, b), None)
         self._last_delivery.pop((b, a), None)
         self.sim.trace.record(self.sim.now, "net.break", node=a, peer=b)
+        self._notify_topology("break")
         for me, peer in ((a, b), (b, a)):
             endpoint = self._endpoints.get(me)
             if endpoint is not None and endpoint.on_broken is not None and self.liveness.is_up(me):

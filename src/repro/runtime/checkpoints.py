@@ -44,6 +44,9 @@ class CheckpointMsg(Message):
     sent_at: float
     state: Dict[str, Any] = field(default_factory=dict)
     timers: list = field(default_factory=list)
+    # Delta mode: the receiver should adopt this full checkpoint as its
+    # delta baseline and acknowledge it (see CheckpointAckMsg).
+    ack_requested: bool = False
 
     def wire_size(self) -> int:
         return 64 + deep_size(self.state) + deep_size(self.timers)
@@ -71,6 +74,23 @@ class CheckpointDeltaMsg(Message):
 
     def wire_size(self) -> int:
         return 72 + deep_size(self.changed) + deep_size(self.timers)
+
+
+@dataclass
+class CheckpointAckMsg(Message):
+    """Acknowledges adoption of a full checkpoint as a delta baseline.
+
+    Delta checkpoints are diffed against the sender's last *acked*
+    full checkpoint, so a sender never diffs against state a receiver
+    provably lacks: until the ack for the current baseline arrives,
+    that receiver keeps getting fulls (the resync fallback).
+    """
+
+    sender: int
+    epoch: int
+
+    def wire_size(self) -> int:
+        return 64
 
 
 @dataclass
@@ -108,7 +128,8 @@ class ProbeReplyMsg(Message):
 
 
 RUNTIME_MESSAGE_TYPES = (
-    CheckpointMsg, CheckpointDeltaMsg, ModelShareMsg, ProbeMsg, ProbeReplyMsg,
+    CheckpointMsg, CheckpointDeltaMsg, CheckpointAckMsg, ModelShareMsg,
+    ProbeMsg, ProbeReplyMsg,
 )
 
 
@@ -120,6 +141,7 @@ def is_runtime_message(msg: Any) -> bool:
 __all__ = [
     "CheckpointMsg",
     "CheckpointDeltaMsg",
+    "CheckpointAckMsg",
     "ModelShareMsg",
     "ProbeMsg",
     "ProbeReplyMsg",

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 from ..choice.choicepoint import ChoicePoint
 from ..choice.objectives import Objective
 from ..mc import (
+    ChainMemo,
     ConsequencePredictor,
     DeliverAction,
     Explorer,
@@ -30,6 +31,7 @@ from ..statemachine import ChoiceRequested, InboundInterposer, SandboxContext
 from ..statemachine.node import Node
 from ..statemachine.serialization import freeze
 from .checkpoints import (
+    CheckpointAckMsg,
     CheckpointDeltaMsg,
     CheckpointMsg,
     ModelShareMsg,
@@ -76,6 +78,8 @@ class CrystalBallRuntime(InboundInterposer):
         min_broadcast_interval: float = 0.05,
         checkpoint_deltas: bool = False,
         full_checkpoint_every: int = 5,
+        prediction_memo: bool = True,
+        memo_max_entries: int = 256,
         model_share_period: float = 0.0,
         generic_node: Optional[object] = None,
         max_snapshot_age: Optional[float] = None,
@@ -121,13 +125,26 @@ class CrystalBallRuntime(InboundInterposer):
         self.broadcast_on_change = broadcast_on_change
         self.min_broadcast_interval = min_broadcast_interval
         # Delta encoding (Section 3.3.2's communication-overhead limit):
-        # send only changed fields against the previous broadcast, with
-        # a periodic full checkpoint as the resync anchor.
+        # deltas are diffed against the last full checkpoint each peer
+        # *acknowledged*, with a periodic full as the rotation anchor.
+        # A peer whose ack is outstanding keeps receiving fulls (the
+        # resync fallback), so a delta is never diffed against state the
+        # receiver provably lacks.
         self.checkpoint_deltas = checkpoint_deltas
         self.full_checkpoint_every = max(1, full_checkpoint_every)
-        self._last_broadcast_state: Optional[Dict[str, Any]] = None
-        self._last_broadcast_epoch = -1
+        self._delta_baseline_state: Optional[Dict[str, Any]] = None
+        self._delta_baseline_frozen: Dict[str, Any] = {}
+        self._delta_baseline_epoch = -1
         self._deltas_since_full = 0
+        self._peer_acked: Dict[int, int] = {}
+        # Cross-round chain memo for run_prediction (not used for
+        # hypothetical choice-scoring worlds, which differ per
+        # candidate and would only churn the cache).
+        self.prediction_memo = prediction_memo
+        self._chain_memo: Optional[ChainMemo] = (
+            ChainMemo(max_entries=memo_max_entries) if prediction_memo else None
+        )
+        self.last_prediction_summary: Optional[Dict[str, Any]] = None
         self.model_share_period = model_share_period
         self.generic_node = generic_node
         # Confidence gating (Section 3.3.2): when the snapshot is too
@@ -164,6 +181,8 @@ class CrystalBallRuntime(InboundInterposer):
                 "delta_checkpoints_sent",
                 "full_checkpoints_sent",
                 "checkpoint_bytes_sent",
+                "checkpoint_acks_sent",
+                "resync_fulls_sent",
                 "deltas_ignored",
                 "model_shares_sent",
                 "model_entries_adopted",
@@ -175,6 +194,20 @@ class CrystalBallRuntime(InboundInterposer):
         node.inbound_interposers.append(self)
         node.crystalball = self
         node.capture_dispatch = True
+        if self._chain_memo is not None:
+            # Cached chains implicitly read connectivity and liveness
+            # (which destinations are reachable/up); neither is part of
+            # the recorded footprint, so changes flush the memo.
+            node.network.topology_listeners.append(self._on_topology_change)
+            node.network.liveness.subscribe(self._on_liveness_change)
+
+    def _on_topology_change(self, kind: str) -> None:
+        if self._chain_memo is not None:
+            self._chain_memo.invalidate(kind)
+
+    def _on_liveness_change(self, node_id: int, is_up: bool) -> None:
+        if self._chain_memo is not None:
+            self._chain_memo.invalidate("liveness")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,6 +264,18 @@ class CrystalBallRuntime(InboundInterposer):
             self.state_model.update(
                 msg.sender, msg.epoch, msg.taken_at, msg.state, timers=msg.timers,
             )
+            if msg.ack_requested:
+                # Adopt this full as the sender's delta baseline and
+                # acknowledge it — only if it actually stuck (a
+                # reordered stale full must not be acked).
+                adopted = self.state_model.set_baseline(msg.sender, msg.epoch)
+                if adopted is not None:
+                    node.network.send(
+                        node.node_id, src,
+                        CheckpointAckMsg(sender=node.node_id, epoch=msg.epoch),
+                        size_bytes=64,
+                    )
+                    self.stats["checkpoint_acks_sent"] += 1
             return False
         if isinstance(msg, CheckpointDeltaMsg):
             self.stats["checkpoints_received"] += 1
@@ -238,10 +283,10 @@ class CrystalBallRuntime(InboundInterposer):
                 self.network_model.observe_latency(
                     src, node.node_id, max(0.0, now - msg.sent_at), now,
                 )
-            base = self.state_model.get(msg.sender)
+            base = self.state_model.baseline(msg.sender)
             if base is None or base.epoch != msg.base_epoch:
-                # We lack the delta's base: skip; the next full
-                # checkpoint resynchronizes us.
+                # We lack the delta's base: skip; the sender keeps
+                # sending fulls until our baseline ack reaches it.
                 self.stats["deltas_ignored"] += 1
                 return False
             patched = dict(base.state)
@@ -249,6 +294,11 @@ class CrystalBallRuntime(InboundInterposer):
             self.state_model.update(
                 msg.sender, msg.epoch, msg.taken_at, patched, timers=msg.timers,
             )
+            return False
+        if isinstance(msg, CheckpointAckMsg):
+            current = self._peer_acked.get(msg.sender, -1)
+            if msg.epoch > current:
+                self._peer_acked[msg.sender] = msg.epoch
             return False
         if isinstance(msg, ModelShareMsg):
             adopted = self.network_model.import_entries(msg.entries)
@@ -331,51 +381,82 @@ class CrystalBallRuntime(InboundInterposer):
         ):
             # Snapshot the service exactly once per broadcast: the same
             # state feeds the local state model (which deep-copies on
-            # update) and the outbound message.
+            # update) and the outbound messages.
             state = self.node.service.checkpoint()
             timers = self._own_timers()
             self.state_model.update(
                 self.node.node_id, self.epoch, now, state, timers=timers,
             )
-            message = self._make_checkpoint_message(state, timers, now)
-            for peer in self.neighbors():
-                self.node.network.send(
-                    self.node.node_id, peer, message, size_bytes=message.wire_size(),
+            if not self.checkpoint_deltas:
+                message = CheckpointMsg(
+                    sender=self.node.node_id, epoch=self.epoch,
+                    taken_at=now, sent_at=now, state=state, timers=timers,
                 )
-                self.stats["checkpoints_sent"] += 1
-                self.stats["checkpoint_bytes_sent"] += message.wire_size()
+                for peer in self.neighbors():
+                    self._send_checkpoint(peer, message)
+                return
+            rotate = (
+                self._delta_baseline_state is None
+                or self._deltas_since_full >= self.full_checkpoint_every
+            )
+            if rotate:
+                # This broadcast is the new baseline every peer must
+                # ack before it can receive deltas again.
+                self._delta_baseline_state = state
+                self._delta_baseline_frozen = {
+                    key: freeze(value) for key, value in state.items()
+                }
+                self._delta_baseline_epoch = self.epoch
+                self._deltas_since_full = 0
+                changed = None
+            else:
+                self._deltas_since_full += 1
+                frozen_base = self._delta_baseline_frozen
+                changed = {
+                    key: value for key, value in state.items()
+                    if freeze(value) != frozen_base.get(key)
+                }
+            full = delta = None
+            for peer in self.neighbors():
+                if rotate or self._peer_acked.get(peer) != self._delta_baseline_epoch:
+                    # The peer has not acked the current baseline (or a
+                    # rotation just happened): it gets a full and is
+                    # asked to adopt it.  Off-rotation fulls are the
+                    # resync fallback for missed baselines.
+                    if full is None:
+                        full = CheckpointMsg(
+                            sender=self.node.node_id, epoch=self.epoch,
+                            taken_at=now, sent_at=now, state=state,
+                            timers=timers, ack_requested=True,
+                        )
+                    self._send_checkpoint(peer, full)
+                    self.stats["full_checkpoints_sent"] += 1
+                    if not rotate:
+                        self.stats["resync_fulls_sent"] += 1
+                else:
+                    if delta is None:
+                        delta = CheckpointDeltaMsg(
+                            sender=self.node.node_id, epoch=self.epoch,
+                            base_epoch=self._delta_baseline_epoch,
+                            taken_at=now, sent_at=now, changed=changed,
+                            timers=timers,
+                        )
+                    self._send_checkpoint(peer, delta)
+                    self.stats["delta_checkpoints_sent"] += 1
+            if rotate:
+                # A peer's ack from a *previous* baseline epoch must not
+                # qualify it for deltas against this one; fulls just went
+                # out, so acks will refresh the map.
+                self._peer_acked = {
+                    peer: epoch for peer, epoch in self._peer_acked.items()
+                    if epoch == self._delta_baseline_epoch
+                }
 
-    def _make_checkpoint_message(self, state, timers, now):
-        full = CheckpointMsg(
-            sender=self.node.node_id, epoch=self.epoch,
-            taken_at=now, sent_at=now, state=state, timers=timers,
-        )
-        if not self.checkpoint_deltas:
-            return full
-        send_full = (
-            self._last_broadcast_state is None
-            or self._deltas_since_full >= self.full_checkpoint_every
-        )
-        if send_full:
-            self._last_broadcast_state = state
-            self._last_broadcast_epoch = self.epoch
-            self._deltas_since_full = 0
-            self.stats["full_checkpoints_sent"] += 1
-            return full
-        changed = {
-            key: value for key, value in state.items()
-            if freeze(value) != freeze(self._last_broadcast_state.get(key))
-        }
-        delta = CheckpointDeltaMsg(
-            sender=self.node.node_id, epoch=self.epoch,
-            base_epoch=self._last_broadcast_epoch,
-            taken_at=now, sent_at=now, changed=changed, timers=timers,
-        )
-        self._last_broadcast_state = state
-        self._last_broadcast_epoch = self.epoch
-        self._deltas_since_full += 1
-        self.stats["delta_checkpoints_sent"] += 1
-        return delta
+    def _send_checkpoint(self, peer: int, message: Any) -> None:
+        size = message.wire_size()
+        self.node.network.send(self.node.node_id, peer, message, size_bytes=size)
+        self.stats["checkpoints_sent"] += 1
+        self.stats["checkpoint_bytes_sent"] += size
 
     def after_dispatch(self, node: Node) -> None:
         """Broadcast a fresh checkpoint when local state changed.
@@ -484,14 +565,22 @@ class CrystalBallRuntime(InboundInterposer):
         predictor = ConsequencePredictor(
             self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
             workers=self.prediction_workers, metrics=self.metrics,
+            memo=self._chain_memo,
         )
         with self.metrics.span(
             "runtime.predict", clock=self._sim_clock, node=self.node.node_id,
-        ):
+        ) as span:
             world = self.current_world()
             report = predictor.predict(world)
+            if self._chain_memo is not None:
+                span.annotate(
+                    memo_hits=self._chain_memo.hits,
+                    memo_misses=self._chain_memo.misses,
+                    memo_entries=len(self._chain_memo),
+                )
         self.stats["predictions"] += 1
         self.stats["states_explored"] += report.total_states
+        self.last_prediction_summary = report.summary()
         if self.steering_enabled:
             self._apply_steering(report, world)
         return report
@@ -542,6 +631,11 @@ class CrystalBallRuntime(InboundInterposer):
                 # new filters count as installations.
                 if newly_installed:
                     self.stats["filters_installed"] += 1
+                    if self._chain_memo is not None:
+                        # A new filter changes what future deliveries
+                        # reach the service; cached chains predicted
+                        # without it are no longer trustworthy.
+                        self._chain_memo.invalidate("steering")
                 self.node.sim.trace.record(
                     now, "runtime.filter_installed", node=self.node.node_id,
                     src=action.src, msg=type(action.msg).__name__,

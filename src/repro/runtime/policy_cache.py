@@ -56,6 +56,7 @@ class PolicyCache:
         self._misses = self.metrics.counter("policy_cache.misses")
         self._expirations = self.metrics.counter("policy_cache.expirations")
         self._evictions = self.metrics.counter("policy_cache.evictions")
+        self._stale = self.metrics.counter("policy_cache.stale")
 
     @property
     def hits(self) -> int:
@@ -88,6 +89,26 @@ class PolicyCache:
     @evictions.setter
     def evictions(self, value: int) -> None:
         self._evictions.value = value
+
+    @property
+    def stale(self) -> int:
+        return self._stale.value
+
+    @stale.setter
+    def stale(self, value: int) -> None:
+        self._stale.value = value
+
+    def mark_stale(self) -> None:
+        """Reclassify the last hit as a stale miss.
+
+        Called by :class:`CachedResolver` when a cached value turned
+        out to be unusable (no longer among the candidates): the lookup
+        already counted as a hit, but the slow path ran anyway, so
+        leaving it a hit would inflate ``hit_rate``.
+        """
+        self.hits -= 1
+        self.misses += 1
+        self.stale += 1
 
     def get(self, key: Tuple, now: float) -> Optional[Tuple[bool, Any]]:
         """Lookup: returns ``(True, value)`` on a live hit, else ``None``.
@@ -145,6 +166,7 @@ class PolicyCache:
             "hit_rate": self.hit_rate,
             "expirations": self.expirations,
             "evictions": self.evictions,
+            "stale": self.stale,
         }
 
 
@@ -171,7 +193,9 @@ class CachedResolver(ChoiceResolver):
             value = hit[1]
             if value in point.candidates:
                 return value
-            # The cached value is no longer an option; fall through.
+            # The cached value is no longer an option; reclassify the
+            # hit as a stale miss and fall through to the inner resolver.
+            self.cache.mark_stale()
         value = self.inner.resolve(point, node)
         self.cache.put(key, value, now)
         return value

@@ -153,8 +153,12 @@ class SandboxContext(Context):
         self._script = list(choice_script or [])
         self._consumed: List[Any] = []
         self._rng_seed = rng_seed
+        # Whether the handler observed the clock; the chain memo uses
+        # this to decide if a cached chain depends on the world's time.
+        self.time_read = False
 
     def now(self) -> float:
+        self.time_read = True
         return self._now
 
     def send(self, dst: int, msg: Any) -> None:

@@ -1,0 +1,125 @@
+"""Property-based memo equivalence (hypothesis).
+
+The one invariant everything rests on: for ANY sequence of worlds fed
+to a predictor round after round, the memoized reports are
+byte-identical — ``report.digest()`` equal — to a memo-free
+predictor's.  Hypothesis drives the world sequence: random node
+states, random in-flight tokens, random timers, random down sets, so
+hits, partial hits, and full invalidations all get exercised without
+hand-picking the mutations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import (
+    ChainMemo,
+    ConsequencePredictor,
+    Explorer,
+    InFlightMessage,
+    PendingTimer,
+    SafetyProperty,
+    WorldState,
+)
+from repro.mc.properties import all_nodes, pairwise
+
+from .conftest import Token, TokenService
+
+
+def factory(node_id):
+    return TokenService(node_id, n=3)
+
+
+def world_strategy():
+    """A random 3-node token world: states, messages, timers, liveness."""
+    state = st.fixed_dictionaries(
+        {"total": st.integers(0, 6), "forwards": st.integers(0, 2)}
+    )
+    messages = st.lists(
+        st.builds(
+            InFlightMessage,
+            src=st.integers(0, 2),
+            dst=st.integers(0, 2),
+            msg=st.builds(Token, value=st.integers(0, 2)),
+        ),
+        max_size=4,
+    )
+    timers = st.lists(
+        st.builds(
+            PendingTimer,
+            node=st.integers(0, 2),
+            name=st.just("kick"),
+            payload=st.none(),
+            delay=st.sampled_from([0.5, 1.0]),
+        ),
+        max_size=2,
+    )
+    return st.builds(
+        lambda states, inflight, tm, down: WorldState(
+            node_states=states, inflight=inflight, timers=tm, down=down,
+        ),
+        states=st.fixed_dictionaries({0: state, 1: state, 2: state}),
+        inflight=messages,
+        tm=timers,
+        down=st.sets(st.integers(0, 2), max_size=1),
+    )
+
+
+PROPERTY_SETS = {
+    "none": [],
+    "scoped": [
+        all_nodes(lambda nid, s: s["total"] <= 4, "bounded-total"),
+        pairwise(lambda a, sa, b, sb: sa["forwards"] + sb["forwards"] <= 4,
+                 "bounded-pair"),
+    ],
+    "world": [SafetyProperty("sum-small",
+                             lambda w: sum(s["total"] for s in w.node_states.values()) <= 10)],
+}
+
+
+def run_rounds(worlds, properties):
+    memo = ChainMemo()
+    on = ConsequencePredictor(
+        Explorer(factory, properties=properties),
+        chain_depth=3, budget=300, memo=memo,
+    )
+    off = ConsequencePredictor(
+        Explorer(factory, properties=properties),
+        chain_depth=3, budget=300,
+    )
+    for world in worlds:
+        report_off = off.predict(world.clone())
+        report_on = on.predict(world.clone())
+        assert report_on.digest() == report_off.digest()
+    assert memo.snapshot()["rebase_errors"] == 0
+
+
+@given(worlds=st.lists(world_strategy(), min_size=2, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_memo_reports_identical_no_properties(worlds):
+    run_rounds(worlds, PROPERTY_SETS["none"])
+
+
+@given(worlds=st.lists(world_strategy(), min_size=2, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_memo_reports_identical_scoped_properties(worlds):
+    run_rounds(worlds, PROPERTY_SETS["scoped"])
+
+
+@given(worlds=st.lists(world_strategy(), min_size=2, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_memo_reports_identical_world_scope(worlds):
+    run_rounds(worlds, PROPERTY_SETS["world"])
+
+
+@given(world=world_strategy(), repeats=st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_repeated_world_converges_to_all_hits(world, repeats):
+    """Feeding the same content repeatedly must end in pure hits."""
+    memo = ChainMemo()
+    on = ConsequencePredictor(Explorer(factory), chain_depth=3, budget=300, memo=memo)
+    report = None
+    for _ in range(repeats):
+        report = on.predict(world.clone())
+    if report.outcomes:
+        assert report.memo_hits == len(report.outcomes)
+        assert report.memo_misses == 0

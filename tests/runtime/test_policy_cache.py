@@ -83,6 +83,7 @@ def test_snapshot_reports_counters():
         "hit_rate": 1 / 3,
         "expirations": 1,
         "evictions": 1,
+        "stale": 0,
     }
 
 
@@ -149,6 +150,25 @@ def test_cached_value_no_longer_candidate_recomputes():
     # Same key but 3 vanished from candidates: must recompute.
     assert resolver.resolve(point((1, 2))) == 2
     assert inner.calls == 2
+
+
+def test_stale_candidate_counts_as_miss_not_hit():
+    """A cached value no longer among the candidates ran the slow path;
+    counting it as a hit inflated hit_rate."""
+    inner = CountingResolver()
+    resolver = CachedResolver(inner, key_fn=lambda p, n: (p.label,))
+    resolver.resolve(point((1, 2, 3)))  # miss, caches 3
+    resolver.resolve(point((1, 2)))     # stale: 3 not a candidate
+    cache = resolver.cache
+    assert cache.stale == 1
+    assert cache.hits == 0
+    assert cache.misses == 2
+    assert cache.hit_rate == 0.0
+    assert cache.snapshot()["stale"] == 1
+    # A genuine hit afterwards still counts as one.
+    resolver.resolve(point((1, 2)))
+    assert cache.hits == 1
+    assert cache.stale == 1
 
 
 def test_scenario_key_uses_state_digest():
