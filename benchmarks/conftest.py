@@ -47,6 +47,7 @@ KNOWN_BENCH_IDS: Dict[str, str] = {
     "O2": "causal tracing overhead",
     "P1": "prediction hot path (digests, pooling, parallelism)",
     "P2": "cross-round incremental prediction + delta checkpoints",
+    "R1": "adversarial scenario search (fuzz vs random)",
 }
 
 # Per-bench-id accumulators, flushed to BENCH_<ID>.json at session end.

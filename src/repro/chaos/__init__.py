@@ -26,6 +26,7 @@ from .plan import (
     LinkFaultEvent,
     PartitionEvent,
     SlowNodeEvent,
+    plan_rng,
     random_fault_plan,
 )
 from .reliable import (
@@ -53,6 +54,7 @@ __all__ = [
     "LinkFaultEvent",
     "PartitionEvent",
     "SlowNodeEvent",
+    "plan_rng",
     "random_fault_plan",
     "AckEnvelope",
     "DataEnvelope",

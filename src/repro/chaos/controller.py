@@ -55,9 +55,15 @@ class ChaosController:
     # ------------------------------------------------------------------
 
     def arm(self) -> None:
-        """Schedule every plan event (idempotent; call before running)."""
+        """Schedule every plan event (idempotent; call before running).
+
+        Validates the plan against the cluster first: an event naming a
+        node outside the world raises :class:`ChaosError` here, not an
+        ``IndexError`` mid-run.
+        """
         if self._armed:
             return
+        self.plan.validate(n_nodes=len(self.cluster.nodes))
         self._armed = True
         for event in self.plan.events:
             self._arm_event(event)

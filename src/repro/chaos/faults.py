@@ -23,8 +23,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..obs import MetricsRegistry, stats_view
 
 
-class ChaosError(Exception):
-    """Raised for invalid fault configurations."""
+class ChaosError(ValueError):
+    """Raised for invalid fault configurations.
+
+    A :class:`ValueError` subclass so callers validating plans and
+    events can catch either the chaos-specific type or the plain
+    built-in — invalid schedules fail fast at construction/arm time
+    with a clear message instead of deep inside the controller.
+    """
 
 
 @dataclass

@@ -30,6 +30,43 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from .faults import ChaosError
 
 
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ChaosError(message)
+
+
+def _check_times(event: "FaultEvent", *ends: str) -> None:
+    """Shared timing rules: non-negative start, ends not before it."""
+    _require(event.at >= 0, f"{event.kind} event scheduled before t=0: at={event.at}")
+    for attr in ends:
+        value = getattr(event, attr)
+        if value is not None:
+            _require(
+                value >= event.at,
+                f"{event.kind} event ends before it starts: "
+                f"{attr}={value} < at={event.at}",
+            )
+
+
+def _check_node(event: "FaultEvent", *attrs: str) -> None:
+    for attr in attrs:
+        value = getattr(event, attr)
+        if value is not None:
+            _require(
+                int(value) >= 0,
+                f"{event.kind} event targets negative node {attr}={value}",
+            )
+
+
+def _check_prob(event: "FaultEvent", *attrs: str) -> None:
+    for attr in attrs:
+        value = getattr(event, attr)
+        _require(
+            0.0 <= value <= 1.0,
+            f"{event.kind} event {attr}={value} outside [0, 1]",
+        )
+
+
 @dataclass(frozen=True)
 class PartitionEvent:
     """Split the network into ``groups`` at ``at``; heal at ``heal_at``."""
@@ -40,9 +77,25 @@ class PartitionEvent:
 
     kind = "partition"
 
+    def __post_init__(self) -> None:
+        _check_times(self, "heal_at")
+        _require(len(self.groups) >= 1, "partition needs at least one group")
+        seen: set = set()
+        for group in self.groups:
+            _require(len(group) >= 1, "partition group is empty")
+            for member in group:
+                _require(int(member) >= 0,
+                         f"partition group contains negative node {member}")
+                _require(member not in seen,
+                         f"node {member} appears in two partition groups")
+                seen.add(member)
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at,
                 "groups": [list(g) for g in self.groups], "heal_at": self.heal_at}
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return tuple(n for g in self.groups for n in g)
 
 
 @dataclass(frozen=True)
@@ -58,9 +111,19 @@ class FlapEvent:
 
     kind = "flap"
 
+    def __post_init__(self) -> None:
+        _check_times(self, "until")
+        _check_node(self, "a", "b")
+        _require(self.a != self.b, f"flap link {self.a}-{self.b} is a self-loop")
+        _require(self.period > 0, f"flap period must be positive, got {self.period}")
+        _require(0.0 <= self.duty <= 1.0, f"flap duty={self.duty} outside [0, 1]")
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at, "link": [self.a, self.b],
                 "period": self.period, "duty": self.duty, "until": self.until}
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return (self.a, self.b)
 
 
 @dataclass(frozen=True)
@@ -80,9 +143,16 @@ class CrashEvent:
 
     kind = "crash"
 
+    def __post_init__(self) -> None:
+        _check_times(self, "recover_at")
+        _check_node(self, "node")
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at, "node": self.node,
                 "amnesia": self.amnesia, "recover_at": self.recover_at}
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return (self.node,)
 
 
 @dataclass(frozen=True)
@@ -105,6 +175,22 @@ class LinkFaultEvent:
 
     kind = "link"
 
+    def __post_init__(self) -> None:
+        _check_times(self)
+        _require(
+            (self.a is None) == (self.b is None),
+            "link event must name both endpoints or neither",
+        )
+        _check_node(self, "a", "b")
+        if self.a is not None:
+            _require(self.a != self.b, f"link {self.a}-{self.b} is a self-loop")
+        _check_prob(self, "drop", "duplicate", "reorder", "corrupt")
+        _require(self.reorder_jitter >= 0,
+                 f"link reorder_jitter={self.reorder_jitter} is negative")
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return () if self.a is None else (self.a, self.b)
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at,
                 "link": None if self.a is None else [self.a, self.b],
@@ -124,9 +210,17 @@ class SlowNodeEvent:
 
     kind = "slow"
 
+    def __post_init__(self) -> None:
+        _check_times(self, "until")
+        _check_node(self, "node")
+        _require(self.delay >= 0, f"slow delay={self.delay} is negative")
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at, "node": self.node,
                 "delay": self.delay, "until": self.until}
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return (self.node,)
 
 
 @dataclass(frozen=True)
@@ -139,9 +233,16 @@ class ClockSkewEvent:
 
     kind = "skew"
 
+    def __post_init__(self) -> None:
+        _check_times(self)
+        _check_node(self, "node")
+
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "at": self.at, "node": self.node,
                 "offset": self.offset}
+
+    def nodes_touched(self) -> Tuple[int, ...]:
+        return (self.node,)
 
 
 FaultEvent = Union[
@@ -162,6 +263,43 @@ class FaultPlan:
         for event in self.events:
             if event.at < 0:
                 raise ChaosError(f"event scheduled before t=0: {event!r}")
+
+    def validate(
+        self,
+        n_nodes: Optional[int] = None,
+        require_recovery: bool = False,
+    ) -> "FaultPlan":
+        """Check cross-event and world-level constraints; return self.
+
+        Per-event shape (negative times, probabilities outside [0, 1],
+        self-loop links, empty or overlapping partition groups, ends
+        before starts) is already enforced at construction.  This adds
+        what only the caller knows:
+
+        * with ``n_nodes``, every node id an event touches must be in
+          range — the error that otherwise surfaces as an ``IndexError``
+          deep inside the controller mid-run;
+        * with ``require_recovery``, every crash must name a
+          ``recover_at`` (fuzz targets and converged-end-state
+          experiments need every victim back up).
+
+        Raises :class:`ChaosError` (a ``ValueError``) with the offending
+        event in the message.
+        """
+        for event in self.events:
+            if n_nodes is not None:
+                for node in event.nodes_touched():
+                    if not 0 <= node < n_nodes:
+                        raise ChaosError(
+                            f"{event.kind} event targets node {node} outside "
+                            f"the {n_nodes}-node world: {event.to_dict()}"
+                        )
+            if require_recovery and isinstance(event, CrashEvent) \
+                    and event.recover_at is None:
+                raise ChaosError(
+                    f"crash without recovery not allowed here: {event.to_dict()}"
+                )
+        return self
 
     @property
     def horizon(self) -> float:
@@ -212,9 +350,24 @@ class FaultPlan:
                 raise ChaosError(f"line {lineno}: cannot parse {line!r}: {exc}") from exc
         return cls(events=events, name=name)
 
+    def to_text(self) -> str:
+        """Render the plan in the line-oriented grammar.
+
+        The inverse of :meth:`parse`: ``FaultPlan.parse(plan.to_text())``
+        reconstructs an equal plan (floats are rendered with ``repr``,
+        which round-trips exactly).
+        """
+        return "\n".join(_event_to_line(e) for e in self.events)
+
     def describe(self) -> str:
         """One line per event, in schedule order."""
         return "\n".join(f"t={e.at:g} {e.to_dict()}" for e in self.events)
+
+    def digest(self) -> str:
+        """Stable hex digest of the plan's canonical JSON."""
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -324,13 +477,64 @@ def _keyword_floats(tokens: List[str]) -> Dict[str, float]:
     return {tokens[i]: float(tokens[i + 1]) for i in range(0, len(tokens), 2)}
 
 
+def _event_to_line(event: FaultEvent) -> str:
+    """One grammar line for ``event`` (see :meth:`FaultPlan.to_text`)."""
+    head = f"at {event.at!r}"
+    if isinstance(event, PartitionEvent):
+        groups = " | ".join(",".join(str(n) for n in g) for g in event.groups)
+        heal = f" heal {event.heal_at!r}" if event.heal_at is not None else ""
+        return f"{head} partition {groups}{heal}"
+    if isinstance(event, FlapEvent):
+        until = f" until {event.until!r}" if event.until is not None else ""
+        return (f"{head} flap {event.a}-{event.b} period {event.period!r} "
+                f"duty {event.duty!r}{until}")
+    if isinstance(event, CrashEvent):
+        amnesia = " amnesia" if event.amnesia else ""
+        recover = f" recover {event.recover_at!r}" \
+            if event.recover_at is not None else ""
+        return f"{head} crash {event.node}{amnesia}{recover}"
+    if isinstance(event, LinkFaultEvent):
+        target = "*" if event.a is None else f"{event.a}-{event.b}"
+        return (f"{head} link {target} drop {event.drop!r} "
+                f"dup {event.duplicate!r} reorder {event.reorder!r} "
+                f"jitter {event.reorder_jitter!r} corrupt {event.corrupt!r}")
+    if isinstance(event, SlowNodeEvent):
+        until = f" until {event.until!r}" if event.until is not None else ""
+        return f"{head} slow {event.node} delay {event.delay!r}{until}"
+    if isinstance(event, ClockSkewEvent):
+        return f"{head} skew {event.node} offset {event.offset!r}"
+    raise ChaosError(f"unknown fault event {event!r}")
+
+
 # ----------------------------------------------------------------------
 # Randomized plan generation (for chaos sweeps)
 # ----------------------------------------------------------------------
 
 
+def plan_rng(source: Union[random.Random, "RngRegistry", int],
+             stream: str = "chaos.plan") -> random.Random:
+    """Resolve a randomness source for plan generation.
+
+    Accepts a plain ``random.Random`` (legacy call sites), an
+    :class:`~repro.sim.rng.RngRegistry` (draws from the named
+    ``stream``), or a bare int seed (derives the named stream from it).
+    Generators that go through here are deterministic end to end and
+    isolated per stream name — adding a new consumer never perturbs
+    existing draws, which is what makes fuzz campaigns byte-replayable.
+    """
+    if isinstance(source, random.Random):
+        return source
+    from ..sim.rng import RngRegistry
+
+    if isinstance(source, RngRegistry):
+        return source.stream(stream)
+    if isinstance(source, int):
+        return RngRegistry(source).stream(stream)
+    raise TypeError(f"cannot derive an RNG from {source!r}")
+
+
 def random_fault_plan(
-    rng: random.Random,
+    rng: Union[random.Random, "RngRegistry", int],
     n_nodes: int,
     duration: float,
     *,
@@ -353,7 +557,12 @@ def random_fault_plan(
     must not forget promises).  Every partition and crash
     heals/recovers before ``duration`` so experiments can assert on
     converged end states.
+
+    ``rng`` may be a plain ``random.Random``, an ``RngRegistry`` (the
+    named ``chaos.plan`` stream is used), or an int seed — see
+    :func:`plan_rng`.
     """
+    rng = plan_rng(rng)
     events: List[FaultEvent] = [
         LinkFaultEvent(at=0.0, drop=drop, duplicate=duplicate, reorder=reorder,
                        reorder_jitter=0.2, corrupt=corrupt),
@@ -401,5 +610,6 @@ __all__ = [
     "ClockSkewEvent",
     "FaultEvent",
     "FaultPlan",
+    "plan_rng",
     "random_fault_plan",
 ]

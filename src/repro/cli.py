@@ -16,6 +16,9 @@ Usage::
     python -m repro.cli bench p2 --quick
     python -m repro.cli report e2 --variant choice-crystalball --seed 1 \\
         --json RUN_REPORT.json --markdown RUN_REPORT.md
+    python -m repro.cli fuzz paxos --seed 1 --budget 2000 --steering off \\
+        --out examples/corpus
+    python -m repro.cli fuzz --replay examples/corpus
 
 Each experiment id matches DESIGN.md's index and the corresponding
 ``benchmarks/bench_e*.py``; the CLI is the quick interactive way to
@@ -188,19 +191,34 @@ def _report_result(experiment: str, args):
     raise ValueError(f"unreportable experiment {experiment!r}")
 
 
+def _near_violation_totals(metrics) -> dict:
+    """Aggregate per-node predicted near-violation counts for a report."""
+    totals: dict = {}
+    for section in metrics.get("nodes", {}).values():
+        prediction = section.get("prediction") or {}
+        for prop, count in (prediction.get("near_violations") or {}).items():
+            totals[prop] = totals.get(prop, 0) + count
+    return totals
+
+
 def _cmd_report(args) -> int:
     from .obs import RunReport
 
     variant, result = _report_result(args.experiment, args)
+    context = {
+        "experiment": args.experiment,
+        "variant": variant,
+        "seed": args.seed,
+        "summary": result.summary(),
+    }
+    near = _near_violation_totals(result.metrics)
+    if near:
+        context["near_violations"] = near
+        print(f"near-violations predicted: {near}")
     report = RunReport(
         title=f"{args.experiment}/{variant}",
         metrics=result.metrics,
-        context={
-            "experiment": args.experiment,
-            "variant": variant,
-            "seed": args.seed,
-            "summary": result.summary(),
-        },
+        context=context,
     )
     report.write(json_path=args.json, markdown_path=args.markdown)
     if args.json:
@@ -239,6 +257,87 @@ def _cmd_a7(args) -> int:
         for plan in standard_plans(5, 20.0, amnesia=False):
             for seed in args.seeds:
                 print(run_chaos_paxos_experiment(seed=seed, plan=plan).summary())
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import json as _json
+    import os
+
+    from .fuzz import (
+        FuzzCampaign,
+        corpus_paths,
+        counterexample_dict,
+        forensics_for,
+        load_counterexample,
+        make_target,
+        replay_counterexample,
+        shrink_counterexample,
+        write_counterexample,
+    )
+
+    if args.replay:
+        paths = corpus_paths(args.replay) if os.path.isdir(args.replay) \
+            else [args.replay]
+        if not paths:
+            print(f"no artifacts under {args.replay}", file=sys.stderr)
+            return 2
+        failures = 0
+        for path in paths:
+            artifact = load_counterexample(path)
+            _execution, reproduces = replay_counterexample(artifact)
+            status = "REPRODUCES" if reproduces else "DOES NOT REPRODUCE"
+            print(f"{path}: {status}  ({artifact['target']} "
+                  f"seed={artifact['seed']}, {artifact['shrunk_events']} events)")
+            failures += 0 if reproduces else 1
+        return 1 if failures else 0
+
+    if not args.app:
+        print("fuzz: an app is required unless --replay is given",
+              file=sys.stderr)
+        return 2
+    target = make_target(args.app)
+    campaign = FuzzCampaign(
+        target, seed=args.seed, budget=args.budget, mode=args.mode,
+        steering=args.steering == "on", stop_after=args.stop_after,
+    )
+    result = campaign.run()
+    print(_json.dumps(result.summary(), sort_keys=True))
+    for ce in result.counterexamples:
+        print(f"violation: {ce.summary()}")
+    if not result.counterexamples:
+        print("no safety violations found within the budget")
+        return 0
+
+    ce = result.counterexamples[0]
+    if args.shrink:
+        shrink = shrink_counterexample(target, ce.plan, ce.seed)
+        print(f"shrink: {shrink.summary()}")
+        print("minimal plan:")
+        for line in shrink.shrunk.to_text().splitlines():
+            print(f"  {line}")
+        plan, violations, horizon = shrink.shrunk, shrink.violations, shrink.horizon
+    else:
+        plan, violations, horizon = ce.plan, ce.violations, None
+    explanation = None
+    if args.forensics:
+        explanation = forensics_for(target, plan, ce.seed)
+        if explanation is not None:
+            print()
+            print(explanation.to_ascii(), end="")
+    if args.out:
+        final = target.execute(plan, ce.seed, probes=False)
+        artifact = counterexample_dict(
+            target, plan, ce.seed, violations,
+            campaign_seed=args.seed, execution=ce.execution,
+            original_events=len(ce.plan), horizon=horizon,
+            trace_digest=final.trace_digest, explanation=explanation,
+        )
+        path = write_counterexample(
+            os.path.join(args.out, f"{target.name}-seed{args.seed}.json"),
+            artifact,
+        )
+        print(f"wrote {path}")
     return 0
 
 
@@ -353,6 +452,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write all explanations as Markdown here")
     p.add_argument("--jsonl", default=None, metavar="PATH",
                    help="dump the full causally-stamped trace as JSONL here")
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided adversarial scenario search over fault plans",
+    )
+    p.add_argument("app", nargs="?", choices=("paxos", "randtree"),
+                   help="fuzz target (omit with --replay)")
+    p.add_argument("--budget", type=int, default=2000,
+                   help="execution budget (default: 2000)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign seed; same seed, same campaign")
+    p.add_argument("--steering", choices=("on", "off"), default="off",
+                   help="run executions with CrystalBall steering installed")
+    p.add_argument("--mode", choices=("guided", "random"), default="guided",
+                   help="guided: coverage + near-violation search; "
+                        "random: the plain random baseline")
+    p.add_argument("--stop-after", type=int, default=None, metavar="K",
+                   help="stop once K counterexamples are found")
+    p.add_argument("--no-shrink", dest="shrink", action="store_false",
+                   help="skip delta-debug shrinking of the first counterexample")
+    p.add_argument("--no-forensics", dest="forensics", action="store_false",
+                   help="skip the causal-forensics re-run")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write the counterexample artifact JSON here")
+    p.add_argument("--replay", default=None, metavar="PATH",
+                   help="replay one artifact file (or every artifact in a "
+                        "directory) instead of fuzzing")
     p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
     add_common(p)
     p.add_argument("--nodes", type=int, default=15)
@@ -379,6 +504,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "bench": _cmd_bench,
         "report": _cmd_report,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -263,8 +262,10 @@ def run_chaos_tree_experiment(
     cfg = config if config is not None else RandTreeConfig()
     join_time = n * join_spacing
     if plan is None:
+        # Named-stream derivation (chaos.plan), so plan draws stay
+        # stable no matter what other consumers the run adds.
         plan = random_fault_plan(
-            random.Random(seed), n, duration=join_time + settle,
+            seed, n, duration=join_time + settle,
             protect=(cfg.root,),
         )
     wrapper = reliable_transport(reliability) if reliability is not None else None
@@ -365,7 +366,7 @@ def run_chaos_paxos_experiment(
     """
     if plan is None:
         plan = random_fault_plan(
-            random.Random(seed), n, duration=0.7 * max_time,
+            seed, n, duration=0.7 * max_time,
             amnesia_prob=0.0, crashes=1, name="random-paxos",
         )
     for event in plan.events:

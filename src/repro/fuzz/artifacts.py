@@ -1,0 +1,190 @@
+"""Reproduction artifacts: counterexample files and causal forensics.
+
+A counterexample artifact is one JSON file that fully reproduces a
+discovered safety violation: the (shrunk) :class:`FaultPlan`, the
+cluster seed, the target name, the violations observed, and — when
+forensics ran — the happens-before causal chain that carried the
+execution into the bad state, rendered by
+:mod:`repro.obs.forensics`.
+
+``examples/corpus/`` holds the curated set; the regression test
+replays every entry and asserts the violation (and trace digest)
+still reproduces byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..chaos import FaultPlan
+from ..obs.causal import HappensBeforeGraph
+from ..obs.forensics import CausalExplanation, explain_chain
+from .executor import ExecutionResult, FuzzTarget, make_target
+
+ARTIFACT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Forensics
+# ----------------------------------------------------------------------
+
+
+def violation_nodes(violations: List[str]) -> List[int]:
+    """Node ids named in violation messages (``node 3 ...``, ``3->1``)."""
+    nodes: List[int] = []
+    for message in violations:
+        body = message.split(":", 1)[-1]
+        for token in body.replace("->", " ").split():
+            if token.isdigit():
+                nodes.append(int(token))
+    return nodes
+
+
+def violation_time(violations: List[str]) -> Optional[float]:
+    """The earliest ``t=<time>`` stamp in the violation messages."""
+    times: List[float] = []
+    for message in violations:
+        head = message.split(":", 1)[0].strip()
+        if head.startswith("t="):
+            try:
+                times.append(float(head[2:]))
+            except ValueError:
+                continue
+    return min(times) if times else None
+
+
+def forensics_for(target: FuzzTarget, plan: FaultPlan,
+                  seed: int) -> Optional[CausalExplanation]:
+    """Re-run a counterexample with causal tracing and explain it.
+
+    The re-run stamps every send/deliver/timer/choice with
+    happens-before metadata; the explanation is the minimal causal
+    chain ending at the last delivery into a node the violation names
+    (falling back to the last delivery anywhere) — "what sequence of
+    sends and deliveries produced the state the property check
+    rejected".
+    """
+    execution = target.execute(plan, seed, probes=False, causal=True,
+                               keep_cluster=True)
+    if not execution.violated or execution.cluster is None:
+        return None
+    graph = HappensBeforeGraph.from_trace(execution.cluster.sim.trace)
+    deliveries = graph.by_category("net.deliver")
+    # Only deliveries that could have *caused* the violation: at or
+    # before the instant the property check first failed.
+    when = violation_time(execution.violations)
+    if when is not None:
+        capped = [e for e in deliveries if e.time <= when]
+        deliveries = capped or deliveries
+    if not deliveries:
+        return None
+    suspects = set(violation_nodes(execution.violations))
+    anchored = [e for e in deliveries if e.node in suspects]
+    anchor = (anchored or deliveries)[-1]
+    return explain_chain(
+        graph, anchor.id,
+        reason=execution.violations[0],
+        trim_at_choice=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Artifact files
+# ----------------------------------------------------------------------
+
+
+def counterexample_dict(
+    target: FuzzTarget,
+    plan: FaultPlan,
+    seed: int,
+    violations: List[str],
+    *,
+    campaign_seed: Optional[int] = None,
+    execution: Optional[int] = None,
+    original_events: Optional[int] = None,
+    horizon: Optional[float] = None,
+    trace_digest: str = "",
+    explanation: Optional[CausalExplanation] = None,
+) -> Dict[str, Any]:
+    """The canonical JSON-able artifact for one counterexample."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "target": target.name,
+        "seed": seed,
+        "campaign_seed": campaign_seed,
+        "execution": execution,
+        "plan": plan.to_dict(),
+        "plan_text": plan.to_text(),
+        "plan_digest": plan.digest(),
+        "violations": list(violations),
+        "original_events": original_events,
+        "shrunk_events": len(plan),
+        "horizon": horizon,
+        "trace_digest": trace_digest,
+        "forensics": None if explanation is None else explanation.to_dict(),
+    }
+
+
+def write_counterexample(path: str, artifact: Dict[str, Any]) -> str:
+    """Write one artifact as pretty, key-sorted JSON; return ``path``."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_counterexample(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    if artifact.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported artifact version {artifact.get('version')!r}"
+        )
+    return artifact
+
+
+def replay_counterexample(
+    artifact: Dict[str, Any],
+    target: Optional[FuzzTarget] = None,
+) -> Tuple[ExecutionResult, bool]:
+    """Replay an artifact; return the execution and whether it still
+    reproduces (same violation *and*, when recorded, same trace
+    digest — the byte-level determinism contract)."""
+    if target is None:
+        target = make_target(artifact["target"])
+    plan = FaultPlan.from_dict(artifact["plan"])
+    execution = target.execute(plan, int(artifact["seed"]), probes=False)
+    reproduces = execution.violated
+    recorded = artifact.get("trace_digest")
+    if recorded:
+        reproduces = reproduces and execution.trace_digest == recorded
+    return execution, reproduces
+
+
+def corpus_paths(directory: str) -> List[str]:
+    """Artifact files under ``directory``, sorted for determinism."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "corpus_paths",
+    "counterexample_dict",
+    "forensics_for",
+    "load_counterexample",
+    "replay_counterexample",
+    "violation_nodes",
+    "violation_time",
+    "write_counterexample",
+]

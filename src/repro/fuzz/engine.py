@@ -1,0 +1,244 @@
+"""The coverage-guided fuzz campaign.
+
+A campaign spends a budget of executions hunting live safety
+violations in one :class:`~repro.fuzz.executor.FuzzTarget`.  The loop
+is classic evolutionary fuzzing over :class:`FaultPlan` genomes:
+
+1. pick a parent from the corpus (weighted by *energy*: its
+   near-violation score plus the novelty it contributed), or draw a
+   fresh plan from the target's random surface;
+2. mutate it (or cross it over with a second parent);
+3. execute, extract coverage features and the near-violation score;
+4. plans that contributed novel features or positive scores join the
+   corpus; live violations are recorded as counterexamples.
+
+Every random draw comes from named streams of one
+:class:`~repro.sim.rng.RngRegistry` rooted at the campaign seed, and
+per-execution cluster seeds are drawn from their own stream, so one
+``(target, seed, budget)`` triple always reproduces the identical
+campaign — byte-identical corpus digests, counterexamples, and
+history.  ``mode="random"`` disables steps 1–4's guidance (every
+execution draws from the random surface, nothing is mutated): the
+baseline the benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..chaos import FaultPlan
+from ..sim.rng import RngRegistry, derive_seed
+from .coverage import CoverageMap
+from .executor import ExecutionResult, FuzzTarget
+from .mutators import crossover, mutate_plan
+
+
+@dataclass
+class CorpusEntry:
+    """One interesting plan retained for further mutation."""
+
+    plan: FaultPlan
+    seed: int
+    score: float
+    novelty: int
+    execution: int
+
+    @property
+    def energy(self) -> float:
+        """Parent-selection weight: score plus novelty, floored at 1
+        so every corpus member stays reachable."""
+        return 1.0 + self.score + float(self.novelty)
+
+
+@dataclass
+class Counterexample:
+    """A plan that broke a safety property live."""
+
+    plan: FaultPlan
+    seed: int
+    violations: List[str]
+    execution: int
+    trace_digest: str
+
+    def summary(self) -> str:
+        return (
+            f"execution #{self.execution} seed={self.seed} "
+            f"events={len(self.plan)}: {self.violations[0]}"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    target: str
+    seed: int
+    budget: int
+    mode: str
+    executions: int = 0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    corpus: List[CorpusEntry] = field(default_factory=list)
+    coverage: Dict[str, int] = field(default_factory=dict)
+    first_violation_execution: Optional[int] = None
+    duplicate_plans_skipped: int = 0
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.counterexamples)
+
+    def corpus_digests(self) -> List[str]:
+        """Plan digests of the corpus, in admission order — the
+        campaign's reproducibility fingerprint."""
+        return [entry.plan.digest() for entry in self.corpus]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "seed": self.seed,
+            "mode": self.mode,
+            "executions": self.executions,
+            "violations": len(self.counterexamples),
+            "first_violation_execution": self.first_violation_execution,
+            "corpus_size": len(self.corpus),
+            "coverage": dict(self.coverage),
+            "duplicate_plans_skipped": self.duplicate_plans_skipped,
+        }
+
+
+class FuzzCampaign:
+    """Coverage-guided adversarial scenario search over one target."""
+
+    # A fresh random-surface draw instead of a mutation, this often —
+    # exploration never starves even with a rich corpus.
+    FRESH_PLAN_RATE = 0.2
+    CROSSOVER_RATE = 0.2
+    # Distinct cluster seeds cycled through per execution: violations
+    # are (plan, seed) pairs, so schedule search needs seed diversity.
+    SEED_SPAN = 8
+    # Stop admitting corpus entries past this size; weakest evicted.
+    MAX_CORPUS = 64
+
+    def __init__(
+        self,
+        target: FuzzTarget,
+        seed: int = 0,
+        budget: int = 500,
+        mode: str = "guided",
+        steering: bool = False,
+        probes: bool = True,
+        stop_after: Optional[int] = None,
+    ) -> None:
+        if mode not in ("guided", "random"):
+            raise ValueError(f"unknown campaign mode {mode!r}")
+        self.target = target
+        self.seed = seed
+        self.budget = budget
+        self.mode = mode
+        self.steering = steering
+        # Random mode never probes: the baseline is plain random
+        # testing, and prediction passes would only slow it down.
+        self.probes = probes and mode == "guided"
+        self.stop_after = stop_after
+        self.rng = RngRegistry(derive_seed(seed, f"fuzz.{target.name}"))
+        self.coverage = CoverageMap()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Spend the execution budget; return the campaign record."""
+        result = CampaignResult(target=self.target.name, seed=self.seed,
+                                budget=self.budget, mode=self.mode)
+        mutate_rng = self.rng.stream("fuzz.mutate")
+        schedule_rng = self.rng.stream("fuzz.schedule")
+        seed_rng = self.rng.stream("fuzz.exec-seed")
+        surface_rng = self.rng.stream("fuzz.surface")
+
+        while result.executions < self.budget:
+            plan = self._next_plan(result, mutate_rng, schedule_rng, surface_rng)
+            if plan is None:
+                result.duplicate_plans_skipped += 1
+                continue
+            exec_seed = seed_rng.randrange(self.SEED_SPAN)
+            execution = self.target.execute(
+                plan, exec_seed, probes=self.probes, steering=self.steering,
+            )
+            result.executions += 1
+            self._record(result, plan, exec_seed, execution)
+            if self.stop_after is not None \
+                    and len(result.counterexamples) >= self.stop_after:
+                break
+        result.coverage = self.coverage.snapshot()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _next_plan(self, result, mutate_rng, schedule_rng,
+                   surface_rng) -> Optional[FaultPlan]:
+        """Draw the next candidate; None if it duplicates an old plan."""
+        target = self.target
+        corpus = result.corpus
+        if self.mode == "random" or not corpus \
+                or schedule_rng.random() < self.FRESH_PLAN_RATE:
+            plan = target.random_plan(surface_rng)
+        else:
+            parent = self._pick_parent(corpus, schedule_rng)
+            if len(corpus) > 1 and schedule_rng.random() < self.CROSSOVER_RATE:
+                other = self._pick_parent(corpus, schedule_rng)
+                plan = crossover(parent.plan, other.plan, mutate_rng)
+                plan = mutate_plan(plan, mutate_rng, target.n_nodes,
+                                   target.horizon, rounds=1)
+            else:
+                plan = mutate_plan(parent.plan, mutate_rng, target.n_nodes,
+                                   target.horizon)
+        # In guided mode an exact plan repeat teaches nothing new for
+        # the same seed budget — skip it (costs one scheduling draw,
+        # not one execution).  Random mode keeps duplicates: the
+        # baseline must pay for its own redundancy.
+        if self.mode == "guided" and self.coverage.seen_plan(plan.digest()):
+            return None
+        return plan
+
+    @staticmethod
+    def _pick_parent(corpus: List[CorpusEntry], rng) -> CorpusEntry:
+        """Energy-weighted parent selection."""
+        total = sum(entry.energy for entry in corpus)
+        pick = rng.uniform(0.0, total)
+        for entry in corpus:
+            pick -= entry.energy
+            if pick <= 0.0:
+                return entry
+        return corpus[-1]
+
+    def _record(self, result: CampaignResult, plan: FaultPlan, seed: int,
+                execution: ExecutionResult) -> None:
+        novelty = self.coverage.observe(execution.features)
+        duplicate_trace = self.coverage.seen_trace(execution.trace_digest)
+        if execution.violated:
+            result.counterexamples.append(Counterexample(
+                plan=plan, seed=seed, violations=list(execution.violations),
+                execution=result.executions, trace_digest=execution.trace_digest,
+            ))
+            if result.first_violation_execution is None:
+                result.first_violation_execution = result.executions
+        if self.mode != "guided":
+            return
+        interesting = (novelty > 0 or execution.score > 0.0
+                       or execution.violated) and not duplicate_trace
+        if interesting:
+            result.corpus.append(CorpusEntry(
+                plan=plan, seed=seed, score=execution.score,
+                novelty=novelty, execution=result.executions,
+            ))
+            if len(result.corpus) > self.MAX_CORPUS:
+                weakest = min(range(len(result.corpus)),
+                              key=lambda i: result.corpus[i].energy)
+                result.corpus.pop(weakest)
+
+
+__all__ = [
+    "CampaignResult",
+    "CorpusEntry",
+    "Counterexample",
+    "FuzzCampaign",
+]

@@ -1,0 +1,430 @@
+"""Fuzz targets: one deterministic execution of a plan against an app.
+
+A :class:`FuzzTarget` knows how to run one :class:`FaultPlan` against
+one protocol and report everything the campaign's coverage signal
+needs: which safety properties broke live, what the trace looked like
+(digest + behavior features), which faults actually landed, and what
+consequence prediction foresaw from probe snapshots mid-run.
+
+Two targets ship:
+
+* ``paxos`` — the 5-replica Mencius WAN workload.  Live safety is
+  single-decree agreement, checked at every probe and at the end.
+  The prediction probes also carry the ``near:accepted-coherent``
+  canary — "no accepted value conflicts with a chosen value elsewhere,
+  and no two replicas accept different values at one (instance,
+  ballot)" — a *precursor* property whose predicted violations sit one
+  or two actions from the current world, giving the search a gradient
+  long before agreement itself (which needs a full gap-fill round
+  trip) can break.
+* ``randtree`` — an 8-node RandTree join under chaos.  Live safety is
+  the structural invariant set (degree bound, no self-edges, no
+  consistent-edge cycle), probed twice a simulated second; prediction
+  probes use the protocol's own CrystalBall property set.
+
+Executions are pure functions of ``(plan, seed)``: same inputs, same
+trace digest, same verdict — the property the shrinker and the corpus
+replay test rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
+
+from ..apps.paxos import PaxosConfig, make_paxos_factory
+from ..apps.randtree import RandTreeConfig, make_baseline_factory, randtree_properties
+from ..chaos import ChaosController, FaultPlan
+from ..chaos.plan import CrashEvent, LinkFaultEvent, PartitionEvent, plan_rng
+from ..eval.chaos_experiment import check_randtree_invariants, trace_digest
+from ..eval.paxos_experiment import agreement_holds, wan_topology
+from ..mc import (
+    ConsequencePredictor,
+    Explorer,
+    SafetyProperty,
+    WorldState,
+    world_from_services,
+)
+from ..statemachine import Cluster
+from .coverage import (
+    chaos_features,
+    near_violation_score,
+    prediction_features,
+    trace_features,
+)
+from .mutators import MAX_PROB
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one execution tells the campaign."""
+
+    target: str
+    seed: int
+    plan_digest: str
+    trace_digest: str = ""
+    violations: List[str] = field(default_factory=list)
+    near_violations: Dict[str, int] = field(default_factory=dict)
+    min_violation_depth: Optional[int] = None
+    features: FrozenSet = frozenset()
+    score: float = 0.0
+    chaos_stats: Dict[str, int] = field(default_factory=dict)
+    # Only populated on keep_cluster executions (forensics re-runs).
+    cluster: Optional[Cluster] = None
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+
+class FuzzTarget:
+    """One app under adversarial scenario search."""
+
+    name = "target"
+    n_nodes = 0
+    horizon = 0.0
+    # Consequence-prediction probe schedule and exploration bounds.
+    probe_times: tuple = ()
+    chain_depth = 3
+    predict_budget = 160
+
+    def random_plan(self, rng: random.Random) -> FaultPlan:
+        """Draw a plan from this target's random surface (the baseline
+        the guided campaign is benchmarked against)."""
+        raise NotImplementedError
+
+    def execute(self, plan: FaultPlan, seed: int, *, probes: bool = True,
+                causal: bool = False, keep_cluster: bool = False,
+                steering: bool = False) -> ExecutionResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        result: ExecutionResult,
+        cluster: Cluster,
+        controller: ChaosController,
+        keep_cluster: bool,
+    ) -> ExecutionResult:
+        result.trace_digest = trace_digest(cluster.sim.trace)
+        result.chaos_stats = controller.stats()
+        features = trace_features(cluster.sim.trace)
+        features |= chaos_features(result.chaos_stats)
+        features |= {("viol", v.split(":", 1)[0]) for v in result.violations}
+        features |= prediction_features(result.near_violations,
+                                        result.min_violation_depth)
+        result.features = frozenset(features)
+        result.score = near_violation_score(
+            result.near_violations, result.min_violation_depth, self.chain_depth,
+        )
+        if keep_cluster:
+            result.cluster = cluster
+        return result
+
+    def _schedule_probes(
+        self,
+        cluster: Cluster,
+        predictor: Optional[ConsequencePredictor],
+        result: ExecutionResult,
+        live_check: Callable[[WorldState], List[str]],
+    ) -> None:
+        """Probe at the target's probe times: live property check plus
+        (when a predictor is given) a consequence-prediction pass whose
+        near-violation counts feed the coverage score."""
+
+        def probe() -> None:
+            down = [n.node_id for n in cluster.nodes if not n.is_up]
+            world = world_from_services(
+                cluster.services, cluster.nodes, down=down, time=cluster.sim.now,
+            )
+            for violation in live_check(world):
+                message = f"t={cluster.sim.now:g}: {violation}"
+                if message not in result.violations:
+                    result.violations.append(message)
+            if predictor is not None:
+                report = predictor.predict(world)
+                for prop, count in report.near_violations().items():
+                    result.near_violations[prop] = (
+                        result.near_violations.get(prop, 0) + count
+                    )
+                depth = report.min_violation_depth()
+                if depth is not None:
+                    current = result.min_violation_depth
+                    result.min_violation_depth = (
+                        depth if current is None else min(current, depth)
+                    )
+
+        for time in self.probe_times:
+            cluster.sim.schedule_at(time, probe, tag="fuzz.probe")
+
+
+# ----------------------------------------------------------------------
+# Paxos target
+# ----------------------------------------------------------------------
+
+
+def paxos_agreement(world: WorldState) -> bool:
+    """Single-decree agreement over a world's ``chosen`` maps."""
+    decided: Dict[Any, tuple] = {}
+    for node_id in world.node_ids:
+        for instance, value in world.state_of(node_id).get("chosen", {}).items():
+            if instance in decided and decided[instance] != tuple(value):
+                return False
+            decided[instance] = tuple(value)
+    return True
+
+
+def accepted_coherent(world: WorldState) -> bool:
+    """The near-violation canary for Paxos.
+
+    Two precursor conditions of an agreement break: an acceptor holds
+    an accepted value conflicting with a value already chosen
+    elsewhere, or two acceptors hold different values for one
+    (instance, ballot).  Either means a quorum could be assembled for
+    the wrong value — detectable one delivery ahead of the break
+    itself.
+    """
+    chosen: Dict[int, tuple] = {}
+    for node_id in world.node_ids:
+        for instance, value in world.state_of(node_id).get("chosen", {}).items():
+            chosen[int(instance)] = tuple(value)
+    seen: Dict[tuple, tuple] = {}
+    for node_id in world.node_ids:
+        for instance, acc in world.state_of(node_id).get("accepted", {}).items():
+            instance = int(instance)
+            ballot, value = acc[0], tuple(acc[1])
+            if instance in chosen and value != chosen[instance]:
+                return False
+            if (instance, ballot) in seen and seen[(instance, ballot)] != value:
+                return False
+            seen[(instance, ballot)] = value
+    return True
+
+
+class PaxosFuzzTarget(FuzzTarget):
+    """Mencius over the 5-site WAN, hunting agreement violations.
+
+    The interesting adversary couples high message loss (so ``Learn``
+    broadcasts miss a majority) with an amnesia crash (so a recovered
+    replica gap-fills a slot it already decided) — exactly the surface
+    :meth:`random_plan` samples.
+    """
+
+    name = "paxos"
+    n_nodes = 5
+    horizon = 16.0
+    probe_times = (3.0, 5.0, 7.0)
+    chain_depth = 3
+    predict_budget = 160
+
+    def __init__(self) -> None:
+        self.config = PaxosConfig(n=5, request_interval=0.5, requests_per_node=3)
+        self.factory = make_paxos_factory("mencius", self.config)
+        self.properties = [
+            SafetyProperty("paxos-agreement", paxos_agreement),
+            SafetyProperty("near:accepted-coherent", accepted_coherent),
+        ]
+
+    def random_plan(self, rng: random.Random) -> FaultPlan:
+        rng = plan_rng(rng, stream="fuzz.surface")
+        events: List[Any] = [LinkFaultEvent(
+            at=0.0, drop=rng.uniform(0.05, MAX_PROB),
+            reorder=rng.uniform(0.0, 0.3), reorder_jitter=0.2,
+        )]
+        for _ in range(rng.randint(1, 2)):
+            at = rng.uniform(1.0, 8.0)
+            events.append(CrashEvent(
+                at=at, node=rng.randrange(self.n_nodes),
+                amnesia=rng.random() < 0.7,
+                recover_at=at + rng.uniform(0.1, 2.5),
+            ))
+        return FaultPlan(events=events)
+
+    def execute(self, plan: FaultPlan, seed: int, *, probes: bool = True,
+                causal: bool = False, keep_cluster: bool = False,
+                steering: bool = False) -> ExecutionResult:
+        cluster = Cluster(self.n_nodes, self.factory,
+                          topology=wan_topology(self.n_nodes), seed=seed,
+                          causal=causal)
+        controller = ChaosController(cluster, plan)
+        controller.arm()
+        if steering:
+            from ..runtime import install_crystalball
+
+            install_crystalball(
+                cluster, self.factory, set_resolver=False,
+                properties=self.properties, checkpoint_period=1.0,
+                prediction_period=1.0, chain_depth=self.chain_depth,
+                budget=self.predict_budget,
+            )
+        cluster.start_all()
+        result = ExecutionResult(target=self.name, seed=seed,
+                                 plan_digest=plan.digest())
+        predictor = None
+        if probes:
+            explorer = Explorer(self.factory, properties=self.properties)
+            predictor = ConsequencePredictor(
+                explorer, chain_depth=self.chain_depth,
+                budget=self.predict_budget,
+            )
+
+        def live_check(world: WorldState) -> List[str]:
+            if not paxos_agreement(world):
+                return ["paxos-agreement: two replicas chose different values"]
+            return []
+
+        self._schedule_probes(cluster, predictor, result, live_check)
+        cluster.run(until=self.horizon)
+        if not agreement_holds(cluster):
+            result.violations.append(
+                "t=end: paxos-agreement: two replicas chose different values"
+            )
+        return self._finish(result, cluster, controller, keep_cluster)
+
+
+# ----------------------------------------------------------------------
+# RandTree target
+# ----------------------------------------------------------------------
+
+
+class RandTreeFuzzTarget(FuzzTarget):
+    """An 8-node RandTree join, hunting structural-invariant breaks.
+
+    The known surface: amnesia crashes make a node forget its children
+    while they still point at it; combined with a partition during the
+    join wave, stale beliefs can close a consistent-edge cycle.
+    """
+
+    name = "randtree"
+    n_nodes = 8
+    horizon = 10.0
+    probe_times = (3.0, 5.0, 7.0)
+    chain_depth = 2
+    predict_budget = 80
+    join_spacing = 0.2
+    invariant_period = 0.5
+
+    def __init__(self) -> None:
+        self.config = RandTreeConfig()
+        self.factory = make_baseline_factory(self.config)
+        self.properties = randtree_properties(self.config)
+
+    def random_plan(self, rng: random.Random) -> FaultPlan:
+        rng = plan_rng(rng, stream="fuzz.surface")
+        events: List[Any] = [LinkFaultEvent(
+            at=0.0, drop=rng.uniform(0.0, 0.25),
+            reorder=rng.uniform(0.0, 0.2), reorder_jitter=0.2,
+        )]
+        for _ in range(rng.randint(1, 3)):
+            at = rng.uniform(0.5, 6.0)
+            events.append(CrashEvent(
+                at=at, node=rng.randrange(1, self.n_nodes),
+                amnesia=rng.random() < 0.8,
+                recover_at=at + rng.uniform(0.2, 2.0),
+            ))
+        if rng.random() < 0.5:
+            nodes = list(range(self.n_nodes))
+            rng.shuffle(nodes)
+            cut = rng.randint(1, self.n_nodes - 1)
+            at = rng.uniform(0.5, 5.0)
+            events.append(PartitionEvent(
+                at=at,
+                groups=(tuple(sorted(nodes[:cut])), tuple(sorted(nodes[cut:]))),
+                heal_at=at + rng.uniform(0.5, 3.0),
+            ))
+        return FaultPlan(events=events)
+
+    def execute(self, plan: FaultPlan, seed: int, *, probes: bool = True,
+                causal: bool = False, keep_cluster: bool = False,
+                steering: bool = False) -> ExecutionResult:
+        from ..net import transit_stub
+
+        topology = transit_stub(self.n_nodes, random.Random(seed))
+        cluster = Cluster(self.n_nodes, self.factory, topology=topology,
+                          seed=seed, causal=causal)
+        controller = ChaosController(cluster, plan, checkpoint_period=1.0)
+        controller.arm()
+        if steering:
+            from ..runtime import install_crystalball
+
+            install_crystalball(
+                cluster, self.factory, set_resolver=False,
+                properties=self.properties, checkpoint_period=1.0,
+                prediction_period=1.0, chain_depth=self.chain_depth,
+                budget=self.predict_budget,
+            )
+        result = ExecutionResult(target=self.name, seed=seed,
+                                 plan_digest=plan.digest())
+        predictor = None
+        if probes:
+            explorer = Explorer(self.factory, properties=self.properties)
+            predictor = ConsequencePredictor(
+                explorer, chain_depth=self.chain_depth,
+                budget=self.predict_budget,
+            )
+
+        def live_check(world: WorldState) -> List[str]:
+            states = {nid: world.state_of(nid) for nid in world.node_ids
+                      if nid not in world.down}
+            return check_randtree_invariants(states, self.config)
+
+        self._schedule_probes(cluster, predictor, result, live_check)
+
+        # The cheap high-frequency invariant sweep (live checks only).
+        def invariant_probe() -> None:
+            states = {n.node_id: n.service.checkpoint()
+                      for n in cluster.nodes if n.is_up}
+            for violation in check_randtree_invariants(states, self.config):
+                message = f"t={cluster.sim.now:g}: {violation}"
+                if message not in result.violations:
+                    result.violations.append(message)
+            if cluster.sim.now + self.invariant_period <= self.horizon:
+                cluster.sim.schedule(self.invariant_period, invariant_probe,
+                                     tag="fuzz.invariant")
+
+        cluster.node(self.config.root).start()
+        for index, node_id in enumerate(
+                nid for nid in range(self.n_nodes) if nid != self.config.root):
+            cluster.sim.schedule_at((index + 1) * self.join_spacing,
+                                    cluster.node(node_id).start,
+                                    tag=f"fuzz.start:{node_id}")
+        cluster.sim.schedule(self.invariant_period, invariant_probe,
+                             tag="fuzz.invariant")
+        cluster.run(until=self.horizon)
+        states = {n.node_id: n.service.checkpoint()
+                  for n in cluster.nodes if n.is_up}
+        for violation in check_randtree_invariants(states, self.config):
+            result.violations.append(f"t=end: {violation}")
+        return self._finish(result, cluster, controller, keep_cluster)
+
+
+TARGETS: Dict[str, Callable[[], FuzzTarget]] = {
+    "paxos": PaxosFuzzTarget,
+    "randtree": RandTreeFuzzTarget,
+}
+
+
+def make_target(name: str) -> FuzzTarget:
+    """Instantiate a registered fuzz target by name."""
+    try:
+        return TARGETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fuzz target {name!r}; known: {sorted(TARGETS)}"
+        ) from None
+
+
+__all__ = [
+    "ExecutionResult",
+    "FuzzTarget",
+    "PaxosFuzzTarget",
+    "RandTreeFuzzTarget",
+    "TARGETS",
+    "accepted_coherent",
+    "make_target",
+    "paxos_agreement",
+]

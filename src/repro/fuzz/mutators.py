@@ -1,0 +1,280 @@
+"""Mutators over :class:`FaultPlan` schedules.
+
+Each mutator takes a plan and returns a *new* plan (events are frozen
+dataclasses) with one structured change: an event added or removed, a
+time jittered, a target renamed, a partition re-cut, a crash's recovery
+re-paired, fault intensities rescaled, or two parents crossed over.
+Every draw comes from the ``random.Random`` the caller passes — the
+campaign hands in a named stream, so a fuzzing run is a pure function
+of its seed.
+
+All outputs respect the plan DSL's validation rules by construction:
+times are clamped to ``[0, horizon]``, ends never precede starts,
+node ids stay inside the world, probabilities stay in range.  A
+mutator that finds nothing applicable (e.g. "remove an event" on an
+empty plan) falls back to adding one, so mutation never dead-ends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from ..chaos.plan import (
+    ClockSkewEvent,
+    CrashEvent,
+    FaultEvent,
+    FaultPlan,
+    FlapEvent,
+    LinkFaultEvent,
+    PartitionEvent,
+    SlowNodeEvent,
+)
+
+# Plans never grow past this: unbounded schedules slow executions
+# without finding anything a small schedule cannot.
+MAX_EVENTS = 8
+# Per-link probabilities are capped below saturation — a 100% drop
+# rate partitions the world trivially and teaches the search nothing.
+MAX_PROB = 0.5
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def _span(rng: random.Random, at: float, horizon: float) -> float:
+    """An end time after ``at`` but inside the horizon."""
+    return _clamp(at + rng.uniform(0.2, 0.4 * horizon), at, horizon)
+
+
+def random_event(rng: random.Random, n_nodes: int, horizon: float) -> FaultEvent:
+    """Draw one random event of a random kind."""
+    kind = rng.choice(("partition", "flap", "crash", "link", "slow", "skew"))
+    at = rng.uniform(0.0, 0.7 * horizon)
+    if kind == "partition":
+        return _random_partition(rng, n_nodes, horizon)
+    if kind == "flap":
+        a, b = rng.sample(range(n_nodes), 2)
+        return FlapEvent(at=at, a=a, b=b, period=rng.uniform(0.5, 2.0),
+                         duty=rng.uniform(0.2, 0.7), until=_span(rng, at, horizon))
+    if kind == "crash":
+        return CrashEvent(
+            at=at, node=rng.randrange(n_nodes),
+            amnesia=rng.random() < 0.6,
+            recover_at=_clamp(at + rng.uniform(0.1, 0.25 * horizon), at, horizon),
+        )
+    if kind == "link":
+        return LinkFaultEvent(
+            at=rng.uniform(0.0, 0.3 * horizon),
+            drop=rng.uniform(0.0, MAX_PROB),
+            duplicate=rng.uniform(0.0, 0.1),
+            reorder=rng.uniform(0.0, 0.3),
+            reorder_jitter=rng.uniform(0.05, 0.3),
+        )
+    if kind == "slow":
+        return SlowNodeEvent(at=at, node=rng.randrange(n_nodes),
+                             delay=rng.uniform(0.02, 0.3),
+                             until=_span(rng, at, horizon))
+    return ClockSkewEvent(at=at, node=rng.randrange(n_nodes),
+                          offset=rng.uniform(-1.0, 1.0))
+
+
+def _random_partition(rng: random.Random, n_nodes: int,
+                      horizon: float) -> PartitionEvent:
+    nodes = list(range(n_nodes))
+    rng.shuffle(nodes)
+    cut = rng.randint(1, n_nodes - 1)
+    at = rng.uniform(0.0, 0.6 * horizon)
+    return PartitionEvent(
+        at=at,
+        groups=(tuple(sorted(nodes[:cut])), tuple(sorted(nodes[cut:]))),
+        heal_at=_span(rng, at, horizon),
+    )
+
+
+# ----------------------------------------------------------------------
+# The mutator suite
+# ----------------------------------------------------------------------
+
+
+def add_event(plan: FaultPlan, rng: random.Random, n_nodes: int,
+              horizon: float) -> FaultPlan:
+    """Append one random event (dropping a random one first at cap)."""
+    events = list(plan.events)
+    if len(events) >= MAX_EVENTS:
+        events.pop(rng.randrange(len(events)))
+    events.append(random_event(rng, n_nodes, horizon))
+    return FaultPlan(events=events)
+
+
+def remove_event(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                 horizon: float) -> FaultPlan:
+    """Remove one event."""
+    if not plan.events:
+        return add_event(plan, rng, n_nodes, horizon)
+    events = list(plan.events)
+    events.pop(rng.randrange(len(events)))
+    return FaultPlan(events=events)
+
+
+def retime_event(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                 horizon: float) -> FaultPlan:
+    """Jitter one event's start (and dependent end) times."""
+    if not plan.events:
+        return add_event(plan, rng, n_nodes, horizon)
+    events = list(plan.events)
+    index = rng.randrange(len(events))
+    event = events[index]
+    shift = rng.gauss(0.0, 0.1 * horizon)
+    at = _clamp(event.at + shift, 0.0, horizon)
+    changes = {"at": at}
+    for attr in ("heal_at", "recover_at", "until"):
+        end = getattr(event, attr, None)
+        if end is not None:
+            changes[attr] = _clamp(end + shift + rng.gauss(0.0, 0.05 * horizon),
+                                   at, horizon)
+    events[index] = replace(event, **changes)
+    return FaultPlan(events=events)
+
+
+def retarget_event(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                   horizon: float) -> FaultPlan:
+    """Point one node-targeting event at a different node or link."""
+    candidates = [
+        (i, e) for i, e in enumerate(plan.events)
+        if isinstance(e, (CrashEvent, SlowNodeEvent, ClockSkewEvent, FlapEvent))
+        or (isinstance(e, LinkFaultEvent) and e.a is not None)
+    ]
+    if not candidates:
+        return add_event(plan, rng, n_nodes, horizon)
+    index, event = candidates[rng.randrange(len(candidates))]
+    events = list(plan.events)
+    if isinstance(event, (CrashEvent, SlowNodeEvent, ClockSkewEvent)):
+        events[index] = replace(event, node=rng.randrange(n_nodes))
+    else:
+        a, b = rng.sample(range(n_nodes), 2)
+        events[index] = replace(event, a=a, b=b)
+    return FaultPlan(events=events)
+
+
+def split_partition(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                    horizon: float) -> FaultPlan:
+    """Re-cut an existing partition's groups (or introduce one)."""
+    indices = [i for i, e in enumerate(plan.events)
+               if isinstance(e, PartitionEvent)]
+    if not indices:
+        events = list(plan.events)[:MAX_EVENTS - 1]
+        events.append(_random_partition(rng, n_nodes, horizon))
+        return FaultPlan(events=events)
+    index = indices[rng.randrange(len(indices))]
+    event = plan.events[index]
+    members = [n for g in event.groups for n in g]
+    rng.shuffle(members)
+    cut = rng.randint(1, len(members) - 1) if len(members) > 1 else 1
+    events = list(plan.events)
+    events[index] = replace(event, groups=(
+        tuple(sorted(members[:cut])), tuple(sorted(members[cut:])),
+    ))
+    return FaultPlan(events=events)
+
+
+def repair_crash(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                 horizon: float) -> FaultPlan:
+    """Re-pair one crash with its recovery: move it, or flip amnesia."""
+    indices = [i for i, e in enumerate(plan.events) if isinstance(e, CrashEvent)]
+    if not indices:
+        return add_event(plan, rng, n_nodes, horizon)
+    index = indices[rng.randrange(len(indices))]
+    event = plan.events[index]
+    events = list(plan.events)
+    if rng.random() < 0.4:
+        events[index] = replace(event, amnesia=not event.amnesia)
+    else:
+        recover = _clamp(event.at + rng.uniform(0.05, 0.3) * horizon,
+                         event.at, horizon)
+        events[index] = replace(event, recover_at=recover)
+    return FaultPlan(events=events)
+
+
+def scale_intensity(plan: FaultPlan, rng: random.Random, n_nodes: int,
+                    horizon: float) -> FaultPlan:
+    """Rescale one link-fault profile's probabilities."""
+    indices = [i for i, e in enumerate(plan.events)
+               if isinstance(e, LinkFaultEvent)]
+    if not indices:
+        events = list(plan.events)[:MAX_EVENTS - 1]
+        events.append(LinkFaultEvent(
+            at=0.0, drop=rng.uniform(0.05, MAX_PROB),
+            reorder=rng.uniform(0.0, 0.3), reorder_jitter=0.2,
+        ))
+        return FaultPlan(events=events)
+    index = indices[rng.randrange(len(indices))]
+    event = plan.events[index]
+    factor = rng.uniform(0.5, 1.6)
+    events = list(plan.events)
+    events[index] = replace(
+        event,
+        drop=_clamp(event.drop * factor, 0.0, MAX_PROB),
+        duplicate=_clamp(event.duplicate * factor, 0.0, MAX_PROB),
+        reorder=_clamp(event.reorder * factor, 0.0, MAX_PROB),
+        corrupt=_clamp(event.corrupt * factor, 0.0, MAX_PROB),
+    )
+    return FaultPlan(events=events)
+
+
+MUTATORS: Tuple = (
+    add_event,
+    remove_event,
+    retime_event,
+    retarget_event,
+    split_partition,
+    repair_crash,
+    scale_intensity,
+)
+
+
+def crossover(a: FaultPlan, b: FaultPlan, rng: random.Random) -> FaultPlan:
+    """Cross two parents: a subset of each one's events, interleaved."""
+    events: List[FaultEvent] = []
+    for parent in (a, b):
+        for event in parent.events:
+            if rng.random() < 0.5:
+                events.append(event)
+    if not events and (a.events or b.events):
+        donor = a if a.events else b
+        events.append(donor.events[rng.randrange(len(donor.events))])
+    return FaultPlan(events=events[:MAX_EVENTS])
+
+
+def mutate_plan(
+    plan: FaultPlan,
+    rng: random.Random,
+    n_nodes: int,
+    horizon: float,
+    rounds: Optional[int] = None,
+) -> FaultPlan:
+    """Apply 1–3 random mutators (or exactly ``rounds``) to ``plan``."""
+    count = rounds if rounds is not None else rng.randint(1, 3)
+    for _ in range(max(1, count)):
+        mutator = MUTATORS[rng.randrange(len(MUTATORS))]
+        plan = mutator(plan, rng, n_nodes, horizon)
+    return plan
+
+
+__all__ = [
+    "MAX_EVENTS",
+    "MAX_PROB",
+    "MUTATORS",
+    "add_event",
+    "crossover",
+    "mutate_plan",
+    "random_event",
+    "remove_event",
+    "repair_crash",
+    "retarget_event",
+    "retime_event",
+    "scale_intensity",
+    "split_partition",
+]

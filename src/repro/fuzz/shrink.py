@@ -1,0 +1,174 @@
+"""Delta-debugging shrinker for violating fault plans.
+
+A campaign's counterexamples are mutation lineages: most of their
+events are along for the ride.  The shrinker reduces one to a *locally
+minimal* reproduction:
+
+1. **ddmin over the event set** — classic delta debugging (Zeller):
+   try dropping chunks of events, halving the chunk size when nothing
+   drops, until single events remain;
+2. **one-at-a-time sweep to a fixpoint** — after ddmin, re-try
+   removing each remaining event; the result is 1-minimal: removing
+   *any* single event makes the violation vanish;
+3. **horizon trimming** — binary-search the earliest execution horizon
+   that still shows the violation, so the artifact replays in the
+   shortest run that demonstrates it.
+
+Every candidate re-runs under the counterexample's own cluster seed
+with probes off (live safety checks only), so the oracle is exactly
+"does this (plan, seed) still break the property live".  Shrinking is
+deterministic: same input, same minimal plan, same digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..chaos import FaultPlan
+from .executor import FuzzTarget
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of shrinking one counterexample."""
+
+    original: FaultPlan
+    shrunk: FaultPlan
+    seed: int
+    violations: List[str] = field(default_factory=list)
+    horizon: Optional[float] = None
+    executions_used: int = 0
+    confirmed: bool = False
+
+    @property
+    def ratio(self) -> float:
+        """Events kept / events given (1.0 = nothing shrank)."""
+        if not len(self.original):
+            return 1.0
+        return len(self.shrunk) / len(self.original)
+
+    def summary(self) -> str:
+        horizon = "" if self.horizon is None else f" horizon={self.horizon:g}"
+        return (
+            f"{len(self.original)} events -> {len(self.shrunk)}"
+            f" (ratio {self.ratio:.2f}){horizon}"
+            f" confirmed={self.confirmed} runs={self.executions_used}"
+        )
+
+
+class Shrinker:
+    """Shrinks violating plans against one target."""
+
+    # Horizon binary search stops refining below this (simulated s).
+    HORIZON_RESOLUTION = 0.5
+
+    def __init__(self, target: FuzzTarget, max_executions: int = 200) -> None:
+        self.target = target
+        self.max_executions = max_executions
+        self._used = 0
+
+    def shrink(self, plan: FaultPlan, seed: int) -> ShrinkResult:
+        """Reduce ``plan`` to a locally minimal violating schedule."""
+        self._used = 0
+        result = ShrinkResult(original=plan, shrunk=plan, seed=seed)
+        if not self._violates(plan.events, seed):
+            # The input does not reproduce — nothing sound to shrink.
+            result.executions_used = self._used
+            return result
+        events = self._ddmin(list(plan.events), seed)
+        events = self._one_at_a_time(events, seed)
+        result.shrunk = FaultPlan(events=events)
+        result.horizon = self._trim_horizon(result.shrunk, seed)
+        # Confirmation run: the minimal plan, the same seed, once more —
+        # the final word on whether the artifact reproduces.
+        final = self.target.execute(result.shrunk, seed, probes=False)
+        self._used += 1
+        result.violations = list(final.violations)
+        result.confirmed = final.violated
+        result.executions_used = self._used
+        return result
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+
+    def _violates(self, events: List, seed: int) -> bool:
+        if self._used >= self.max_executions:
+            return False
+        self._used += 1
+        execution = self.target.execute(FaultPlan(events=list(events)), seed,
+                                        probes=False)
+        return execution.violated
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _ddmin(self, events: List, seed: int) -> List:
+        """Zeller's ddmin over the event list."""
+        granularity = 2
+        while len(events) >= 2:
+            chunk = max(1, len(events) // granularity)
+            reduced = False
+            start = 0
+            while start < len(events):
+                candidate = events[:start] + events[start + chunk:]
+                if candidate and self._violates(candidate, seed):
+                    events = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    # Restart the scan at this granularity.
+                    start = 0
+                    chunk = max(1, len(events) // granularity)
+                    continue
+                start += chunk
+            if not reduced:
+                if granularity >= len(events):
+                    break
+                granularity = min(len(events), granularity * 2)
+        return events
+
+    def _one_at_a_time(self, events: List, seed: int) -> List:
+        """Drop single events until a fixpoint: the 1-minimality pass."""
+        changed = True
+        while changed and len(events) > 1:
+            changed = False
+            for index in range(len(events)):
+                candidate = events[:index] + events[index + 1:]
+                if self._violates(candidate, seed):
+                    events = candidate
+                    changed = True
+                    break
+        return events
+
+    def _trim_horizon(self, plan: FaultPlan, seed: int) -> float:
+        """Smallest execution horizon (to resolution) still violating."""
+        target = self.target
+        full = target.horizon
+        low, high = max(plan.horizon, self.HORIZON_RESOLUTION), full
+        if low >= high:
+            return full
+        original = target.horizon
+        best = full
+        try:
+            while high - low > self.HORIZON_RESOLUTION:
+                mid = (low + high) / 2.0
+                target.horizon = mid
+                if self._violates(list(plan.events), seed):
+                    best = mid
+                    high = mid
+                else:
+                    low = mid
+        finally:
+            target.horizon = original
+        return round(best, 3)
+
+
+def shrink_counterexample(target: FuzzTarget, plan: FaultPlan, seed: int,
+                          max_executions: int = 200) -> ShrinkResult:
+    """Convenience wrapper: shrink one ``(plan, seed)`` counterexample."""
+    return Shrinker(target, max_executions=max_executions).shrink(plan, seed)
+
+
+__all__ = ["ShrinkResult", "Shrinker", "shrink_counterexample"]

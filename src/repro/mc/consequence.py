@@ -99,6 +99,30 @@ class PredictionReport:
         """Stable hex digest of :meth:`dump`."""
         return digest_of_frozen(self.dump())
 
+    def near_violations(self) -> Dict[str, int]:
+        """Predicted-violation counts per property name.
+
+        The near-violation signal fuzz coverage climbs: a pass that
+        predicts violations downstream of the current world flags
+        trouble before it materializes live, even when every live
+        check still holds.
+        """
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for violation in outcome.violations:
+                name = violation.property_name
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def min_violation_depth(self) -> Optional[int]:
+        """Shortest action path to any predicted violation (or None).
+
+        The distance-to-violation across every explored chain: 1 means
+        one action away from a property breach.
+        """
+        depths = [len(v.path) for o in self.outcomes for v in o.violations]
+        return min(depths) if depths else None
+
     def summary(self) -> Dict[str, Any]:
         """Small JSON-able digest of the pass, for run reports."""
         violations = sum(len(o.violations) for o in self.outcomes)
@@ -107,6 +131,8 @@ class PredictionReport:
             "total_states": self.total_states,
             "unsafe_actions": sum(1 for o in self.outcomes if not o.is_safe),
             "violations": violations,
+            "near_violations": self.near_violations(),
+            "min_violation_depth": self.min_violation_depth(),
             "budget_exhausted": self.budget_exhausted,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
@@ -216,6 +242,12 @@ class ConsequencePredictor:
         if metrics is not None:
             metrics.counter("mc.predictions").inc()
             metrics.counter("mc.states").inc(report.total_states)
+            predicted = sum(len(o.violations) for o in report.outcomes)
+            if predicted:
+                metrics.counter("mc.near_violations").inc(predicted)
+                min_depth = report.min_violation_depth()
+                if min_depth is not None:
+                    metrics.gauge("mc.min_violation_depth").set(min_depth)
             pool = self.explorer.pool
             if pool is not None:
                 metrics.gauge("mc.pool.hit_rate").set(pool.hit_rate)

@@ -744,6 +744,7 @@ class CrystalBallRuntime(InboundInterposer):
         )
         report = predictor.predict(world)
         self.stats["states_explored"] += report.total_states
+        self.last_prediction_summary = report.summary()
         if not report.outcomes:
             return immediate
         future = sum(

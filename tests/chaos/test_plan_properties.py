@@ -1,0 +1,207 @@
+"""Property tests: validation rejections and exact grammar round-trips.
+
+Hypothesis generates arbitrary valid plans over all six event kinds and
+asserts the three serializations — the line grammar (``to_text`` /
+``parse``), JSON, and dicts — reconstruct an *equal* plan, floats
+included (``to_text`` renders floats with ``repr``, which round-trips
+exactly).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    ChaosError,
+    ClockSkewEvent,
+    CrashEvent,
+    FaultPlan,
+    FlapEvent,
+    LinkFaultEvent,
+    PartitionEvent,
+    SlowNodeEvent,
+)
+
+# ----------------------------------------------------------------------
+# Validation rejections (construction-time and world-level)
+# ----------------------------------------------------------------------
+
+
+class TestConstructionRejections:
+    def test_end_before_start(self):
+        with pytest.raises(ChaosError, match="ends before it starts"):
+            CrashEvent(at=5.0, node=0, recover_at=1.0)
+        with pytest.raises(ChaosError, match="ends before it starts"):
+            PartitionEvent(at=5.0, groups=((0,), (1,)), heal_at=2.0)
+
+    def test_negative_node(self):
+        with pytest.raises(ChaosError, match="negative node"):
+            CrashEvent(at=1.0, node=-3)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ChaosError, match="outside \\[0, 1\\]"):
+            LinkFaultEvent(at=0.0, drop=1.5)
+        with pytest.raises(ChaosError, match="outside \\[0, 1\\]"):
+            FlapEvent(at=0.0, a=0, b=1, period=1.0, duty=-0.1)
+
+    def test_self_loop_link(self):
+        with pytest.raises(ChaosError, match="self-loop"):
+            FlapEvent(at=0.0, a=2, b=2, period=1.0)
+
+    def test_empty_partition_group(self):
+        with pytest.raises(ChaosError, match="group is empty"):
+            PartitionEvent(at=0.0, groups=((0, 1), ()))
+
+    def test_overlapping_partition_groups(self):
+        with pytest.raises(ChaosError, match="two partition groups"):
+            PartitionEvent(at=0.0, groups=((0, 1), (1, 2)))
+
+    def test_nonpositive_flap_period(self):
+        with pytest.raises(ChaosError, match="period must be positive"):
+            FlapEvent(at=0.0, a=0, b=1, period=0.0)
+
+    def test_negative_slow_delay(self):
+        with pytest.raises(ChaosError, match="delay=-0.1 is negative"):
+            SlowNodeEvent(at=0.0, node=1, delay=-0.1)
+
+
+class TestWorldLevelValidation:
+    def test_node_out_of_range(self):
+        plan = FaultPlan(events=[CrashEvent(at=1.0, node=7)])
+        plan.validate()                 # fine without world knowledge
+        plan.validate(n_nodes=8)        # in range
+        with pytest.raises(ChaosError, match="outside the 5-node world"):
+            plan.validate(n_nodes=5)
+
+    def test_partition_member_out_of_range(self):
+        plan = FaultPlan(events=[
+            PartitionEvent(at=0.0, groups=((0, 1), (2, 9)), heal_at=1.0),
+        ])
+        with pytest.raises(ChaosError, match="targets node 9"):
+            plan.validate(n_nodes=5)
+
+    def test_require_recovery(self):
+        plan = FaultPlan(events=[CrashEvent(at=1.0, node=0)])
+        plan.validate(n_nodes=3)
+        with pytest.raises(ChaosError, match="recover"):
+            plan.validate(n_nodes=3, require_recovery=True)
+        recovered = FaultPlan(events=[CrashEvent(at=1.0, node=0,
+                                                 recover_at=2.0)])
+        recovered.validate(n_nodes=3, require_recovery=True)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip over arbitrary valid plans
+# ----------------------------------------------------------------------
+
+times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                  allow_infinity=False)
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                  allow_infinity=False)
+nodes = st.integers(min_value=0, max_value=31)
+
+
+def _with_end(start_strategy, optional=True):
+    """(at, end) pairs where the end never precedes the start."""
+    base = st.tuples(start_strategy, times).map(
+        lambda pair: (pair[0], pair[0] + pair[1]))
+    if optional:
+        return st.tuples(start_strategy, st.none()) | base
+    return base
+
+
+@st.composite
+def partition_events(draw):
+    at, heal_at = draw(_with_end(times))
+    members = draw(st.lists(nodes, min_size=2, max_size=8, unique=True))
+    cut = draw(st.integers(min_value=1, max_value=len(members) - 1))
+    return PartitionEvent(
+        at=at,
+        groups=(tuple(sorted(members[:cut])), tuple(sorted(members[cut:]))),
+        heal_at=heal_at,
+    )
+
+
+@st.composite
+def flap_events(draw):
+    at, until = draw(_with_end(times))
+    a, b = draw(st.lists(nodes, min_size=2, max_size=2, unique=True))
+    return FlapEvent(at=at, a=a, b=b,
+                     period=draw(st.floats(min_value=1e-3, max_value=60.0,
+                                           allow_nan=False)),
+                     duty=draw(probs), until=until)
+
+
+@st.composite
+def crash_events(draw):
+    at, recover_at = draw(_with_end(times))
+    return CrashEvent(at=at, node=draw(nodes),
+                      amnesia=draw(st.booleans()), recover_at=recover_at)
+
+
+@st.composite
+def link_events(draw):
+    if draw(st.booleans()):
+        a, b = None, None
+    else:
+        a, b = draw(st.lists(nodes, min_size=2, max_size=2, unique=True))
+    return LinkFaultEvent(at=draw(times), a=a, b=b,
+                          drop=draw(probs), duplicate=draw(probs),
+                          reorder=draw(probs), reorder_jitter=draw(probs),
+                          corrupt=draw(probs))
+
+
+@st.composite
+def slow_events(draw):
+    at, until = draw(_with_end(times))
+    return SlowNodeEvent(at=at, node=draw(nodes),
+                         delay=draw(st.floats(min_value=0.0, max_value=10.0,
+                                              allow_nan=False)),
+                         until=until)
+
+
+@st.composite
+def skew_events(draw):
+    return ClockSkewEvent(at=draw(times), node=draw(nodes),
+                          offset=draw(st.floats(min_value=-60.0, max_value=60.0,
+                                                allow_nan=False)))
+
+
+fault_events = st.one_of(partition_events(), flap_events(), crash_events(),
+                         link_events(), slow_events(), skew_events())
+
+fault_plans = st.builds(
+    lambda events, name: FaultPlan(events=events, name=name),
+    st.lists(fault_events, max_size=8),
+    st.text(alphabet=st.characters(whitelist_categories=("L", "N")),
+            max_size=12),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(fault_plans)
+def test_text_grammar_round_trip(plan):
+    clone = FaultPlan.parse(plan.to_text())
+    assert clone.events == plan.events
+
+
+@settings(max_examples=200, deadline=None)
+@given(fault_plans)
+def test_json_round_trip(plan):
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.events == plan.events
+    assert clone.name == plan.name
+    assert clone.digest() == plan.digest()
+
+
+@settings(max_examples=200, deadline=None)
+@given(fault_plans)
+def test_dict_round_trip(plan):
+    assert FaultPlan.from_dict(plan.to_dict()).events == plan.events
+
+
+@settings(max_examples=100, deadline=None)
+@given(fault_plans)
+def test_validate_passes_for_generated_plans(plan):
+    # Every generated node id is < 32 by construction.
+    assert plan.validate(n_nodes=32) is plan

@@ -1,0 +1,73 @@
+"""The ``cli fuzz`` subcommand: campaigns, artifacts, corpus replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+CORPUS_DIR = os.path.join(REPO_ROOT, "examples", "corpus")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fuzz", "randtree"])
+    assert args.budget == 2000
+    assert args.seed == 1
+    assert args.steering == "off"
+    assert args.mode == "guided"
+    assert args.shrink and args.forensics
+    assert args.replay is None
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fuzz", "quicksort"])
+
+
+def test_app_required_without_replay(capsys):
+    assert main(["fuzz"]) == 2
+    assert "an app is required" in capsys.readouterr().err
+
+
+def test_small_campaign_prints_summary(capsys):
+    assert main(["fuzz", "randtree", "--seed", "5", "--budget", "8",
+                 "--no-shrink", "--no-forensics"]) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out.splitlines()[0])
+    assert summary["target"] == "randtree"
+    assert summary["executions"] == 8
+    assert summary["mode"] == "guided"
+
+
+def test_campaign_with_violation_shrinks_and_writes(tmp_path, capsys):
+    # Seed 1 on randtree finds its first violation at execution 140.
+    assert main(["fuzz", "randtree", "--seed", "1", "--budget", "150",
+                 "--stop-after", "1", "--no-forensics",
+                 "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "violation:" in out
+    assert "shrink:" in out
+    assert "minimal plan:" in out
+    artifact_path = tmp_path / "randtree-seed1.json"
+    assert artifact_path.exists()
+    artifact = json.loads(artifact_path.read_text())
+    assert artifact["target"] == "randtree"
+    assert artifact["violations"]
+    # The written artifact immediately replays.
+    assert main(["fuzz", "--replay", str(artifact_path)]) == 0
+    assert "REPRODUCES" in capsys.readouterr().out
+
+
+def test_replay_curated_corpus(capsys):
+    assert main(["fuzz", "--replay", CORPUS_DIR]) == 0
+    out = capsys.readouterr().out
+    assert out.count("REPRODUCES") >= 2
+    assert "DOES NOT REPRODUCE" not in out
+
+
+def test_replay_empty_directory(tmp_path, capsys):
+    assert main(["fuzz", "--replay", str(tmp_path)]) == 2
+    assert "no artifacts" in capsys.readouterr().err

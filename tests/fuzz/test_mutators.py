@@ -1,0 +1,80 @@
+"""Mutators: every output is a valid, in-range, bounded plan."""
+
+import random
+
+import pytest
+
+from repro.chaos import CrashEvent, FaultPlan
+from repro.fuzz.mutators import (
+    MAX_EVENTS,
+    MUTATORS,
+    crossover,
+    mutate_plan,
+    random_event,
+)
+
+N_NODES = 6
+HORIZON = 12.0
+
+
+def _seed_plan(rng):
+    return FaultPlan(events=[
+        random_event(rng, N_NODES, HORIZON) for _ in range(rng.randint(1, 4))
+    ])
+
+
+def test_random_event_always_constructs():
+    rng = random.Random(0)
+    for _ in range(300):
+        event = random_event(rng, N_NODES, HORIZON)
+        FaultPlan(events=[event]).validate(N_NODES)
+
+
+@pytest.mark.parametrize("mutator", MUTATORS, ids=lambda m: m.__name__)
+def test_each_mutator_preserves_validity(mutator):
+    rng = random.Random(7)
+    for _ in range(60):
+        plan = _seed_plan(rng)
+        mutated = mutator(plan, rng, N_NODES, HORIZON)
+        # Construction enforces per-event shape; validate() the rest.
+        mutated.validate(N_NODES)
+        assert len(mutated) <= MAX_EVENTS
+
+
+def test_mutate_plan_fuzzes_validly_across_seeds():
+    for seed in range(40):
+        rng = random.Random(seed)
+        plan = _seed_plan(rng)
+        for _ in range(10):
+            plan = mutate_plan(plan, rng, N_NODES, HORIZON)
+            plan.validate(N_NODES)
+            assert len(plan) <= MAX_EVENTS
+
+
+def test_mutate_plan_deterministic():
+    base = _seed_plan(random.Random(3))
+    a = mutate_plan(base, random.Random(11), N_NODES, HORIZON)
+    b = mutate_plan(base, random.Random(11), N_NODES, HORIZON)
+    assert a.digest() == b.digest()
+
+
+def test_mutate_plan_never_mutates_input():
+    plan = _seed_plan(random.Random(5))
+    before = plan.digest()
+    mutate_plan(plan, random.Random(9), N_NODES, HORIZON)
+    assert plan.digest() == before
+
+
+def test_crossover_mixes_both_parents():
+    rng = random.Random(2)
+    a = FaultPlan(events=[CrashEvent(at=1.0, node=0, recover_at=2.0)])
+    b = FaultPlan(events=[CrashEvent(at=3.0, node=1, recover_at=4.0)])
+    seen_from_a = seen_from_b = False
+    for _ in range(50):
+        child = crossover(a, b, rng)
+        child.validate(N_NODES)
+        assert 1 <= len(child) <= MAX_EVENTS
+        events = set(child.events)
+        seen_from_a = seen_from_a or bool(events & set(a.events))
+        seen_from_b = seen_from_b or bool(events & set(b.events))
+    assert seen_from_a and seen_from_b
