@@ -48,6 +48,7 @@ KNOWN_BENCH_IDS: Dict[str, str] = {
     "P1": "prediction hot path (digests, pooling, parallelism)",
     "P2": "cross-round incremental prediction + delta checkpoints",
     "R1": "adversarial scenario search (fuzz vs random)",
+    "S1": "simulator scale (hot loop, sparse topologies, partial views)",
 }
 
 # Per-bench-id accumulators, flushed to BENCH_<ID>.json at session end.

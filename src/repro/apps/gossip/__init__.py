@@ -17,8 +17,11 @@ from .score import (
     gossip_peer_score,
     make_model_gossip_resolver,
 )
+from .views import ViewGossip, make_view_gossip_factory
 
 __all__ = [
+    "ViewGossip",
+    "make_view_gossip_factory",
     "STRATEGIES",
     "BaselineGossip",
     "make_baseline_gossip_factory",

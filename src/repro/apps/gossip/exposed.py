@@ -51,13 +51,19 @@ class ExposedGossip(Service):
             self.published += 1
             self.set_timer("publish", self.config.publish_interval)
 
+    def gossip_candidates(self):
+        """Peers eligible for this round's push — every other node by
+        default; view-based variants narrow this to their active view."""
+        return [p for p in range(self.config.n) if p != self.node_id]
+
     @timer_handler("gossip")
     def on_gossip_round(self, payload) -> None:
         self.round += 1
         if self.known_at:
-            candidates = [p for p in range(self.config.n) if p != self.node_id]
-            peer = self.choose("gossip-peer", candidates, round=self.round)
-            self.send(peer, self._make_push())
+            candidates = self.gossip_candidates()
+            if candidates:
+                peer = self.choose("gossip-peer", candidates, round=self.round)
+                self.send(peer, self._make_push())
         self.set_timer("gossip", self.config.round_period)
 
     def _make_push(self) -> GossipPush:

@@ -23,8 +23,11 @@ from .common import (
     unattached_nodes,
 )
 from .exposed import ExposedRandTree, make_exposed_factory
+from .views import ViewRandTree, make_view_randtree_factory
 
 __all__ = [
+    "ViewRandTree",
+    "make_view_randtree_factory",
     "BaselineRandTree",
     "make_baseline_factory",
     "Heartbeat",

@@ -200,6 +200,13 @@ class ExposedRandTree(Service):
         self.send(self.parent, Heartbeat())
         self.set_timer("heartbeat", self.config.hb_period)
 
+    def rejoin_candidates(self) -> List[int]:
+        """Plausible attachment points after losing the parent — known
+        relatives plus the root; view-based variants widen this with
+        their membership view."""
+        candidates = [self.grandparent] + self.siblings + [self.config.root]
+        return sorted({c for c in candidates if c is not None and c != self.node_id})
+
     def rejoin(self) -> None:
         """Parent lost: rejoin through a chosen relative.
 
@@ -210,9 +217,7 @@ class ExposedRandTree(Service):
         self.joined = False
         self.parent = None
         self.hb_missed = 0
-        candidates = [self.grandparent] + self.siblings + [self.config.root]
-        candidates = sorted({c for c in candidates if c is not None and c != self.node_id})
-        target = self.choose("rejoin-target", candidates)
+        target = self.choose("rejoin-target", self.rejoin_candidates())
         self.send(target, Join(joiner=self.node_id))
         self.set_timer("join-retry", self.config.join_retry)
 

@@ -1,0 +1,68 @@
+"""RandTree over partial views: overlay-tree maintenance at scale.
+
+:class:`ViewRandTree` composes
+:class:`~repro.net.membership.PartialViewMembership` in front of
+:class:`~repro.apps.randtree.exposed.ExposedRandTree`.  The tree
+protocol itself is unchanged — joins still funnel through the root and
+forward down the tree — but recovery gets strictly better choices: a
+node that loses its parent exposes its active view alongside the usual
+grandparent/sibling/root candidates, so repair no longer herds through
+the root when closer attachment points exist.  A peer that drops out of
+the active view while being this node's parent triggers an immediate
+rejoin instead of waiting out heartbeat misses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...net.membership import (
+    VIEW_STATE_FIELDS,
+    PartialViewMembership,
+    ViewConfig,
+)
+from .common import RandTreeConfig
+from .exposed import ExposedRandTree
+
+
+class ViewRandTree(PartialViewMembership, ExposedRandTree):
+    """Random overlay tree whose repair choices range over the view."""
+
+    state_fields = ExposedRandTree.state_fields + VIEW_STATE_FIELDS
+
+    def __init__(
+        self,
+        node_id: int,
+        config: Optional[RandTreeConfig] = None,
+        view_config: Optional[ViewConfig] = None,
+    ) -> None:
+        ExposedRandTree.__init__(self, node_id, config)
+        self.init_views(view_config)
+
+    def rejoin_candidates(self) -> List[int]:
+        base = set(super().rejoin_candidates())
+        base.update(p for p in self.active if p != self.node_id)
+        return sorted(base)
+
+    def on_neighbor_down(self, peer: int) -> None:
+        # Membership detected the peer before the heartbeat ladder did;
+        # react immediately when it was load-bearing for the tree.
+        if self.joined and peer == self.parent:
+            self.rejoin()
+
+
+def make_view_randtree_factory(
+    config: Optional[RandTreeConfig] = None,
+    view_config: Optional[ViewConfig] = None,
+):
+    """Factory of view-based randtree services sharing one configuration."""
+    cfg = config if config is not None else RandTreeConfig()
+    vcfg = view_config if view_config is not None else ViewConfig()
+
+    def factory(node_id: int) -> ViewRandTree:
+        return ViewRandTree(node_id, cfg, vcfg)
+
+    return factory
+
+
+__all__ = ["ViewRandTree", "make_view_randtree_factory"]

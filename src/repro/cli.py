@@ -14,6 +14,7 @@ Usage::
         --json TRACE_EXPLAIN.json --markdown TRACE_EXPLAIN.md
     python -m repro.cli bench p1 --quick
     python -m repro.cli bench p2 --quick
+    python -m repro.cli bench s1 --quick
     python -m repro.cli report e2 --variant choice-crystalball --seed 1 \\
         --json RUN_REPORT.json --markdown RUN_REPORT.md
     python -m repro.cli fuzz paxos --seed 1 --budget 2000 --steering off \\
@@ -417,7 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run one benchmark suite and report its BENCH_<ID>.json path",
     )
-    p.add_argument("id", help="bench id, e.g. e7, p1, or p2 (matches "
+    p.add_argument("id", help="bench id, e.g. e7, p1, or s1 (matches "
                               "benchmarks/bench_<id>*.py)")
     p.add_argument("--quick", action="store_true",
                    help="reduced iterations (sets REPRO_BENCH_QUICK=1)")

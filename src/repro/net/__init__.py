@@ -18,7 +18,22 @@ from .topology import (
 )
 from .transport import DEFAULT_MESSAGE_BYTES, Network, TransportError
 
+# Membership must come last: it subclasses repro.statemachine.Service,
+# and repro.statemachine imports Network/Topology from this package —
+# by this point those names are bound, so the cycle resolves cleanly in
+# either import direction.
+from .membership import (
+    VIEW_STATE_FIELDS,
+    PartialViewMembership,
+    ViewConfig,
+    make_membership_factory,
+)
+
 __all__ = [
+    "VIEW_STATE_FIELDS",
+    "PartialViewMembership",
+    "ViewConfig",
+    "make_membership_factory",
     "CongestionEpisode",
     "LinkDynamics",
     "schedule_latency_change",

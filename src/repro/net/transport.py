@@ -93,6 +93,13 @@ class Network:
         self._messages_dropped = self.metrics.counter("net.messages_dropped")
         self._messages_duplicated = self.metrics.counter("net.messages_duplicated")
         self._bytes_sent = self.metrics.counter("net.bytes_sent")
+        # Hot-loop caches: the loss stream is one registry object per
+        # name (looking it up per send costs a dict probe + method call),
+        # and delivery tags are interned per directed pair instead of
+        # being formatted on every send.
+        self._loss_rng = sim.rng.stream("net.loss")
+        self._deliver_tags: Dict[Tuple[int, int], str] = {}
+        self._batch_tags: Dict[int, str] = {}
 
     @property
     def messages_sent(self) -> int:
@@ -238,50 +245,61 @@ class Network:
     # Sending
     # ------------------------------------------------------------------
 
-    def send(
+    def _deliver_tag(self, src: int, dst: int) -> str:
+        tag = self._deliver_tags.get((src, dst))
+        if tag is None:
+            tag = self._deliver_tags[(src, dst)] = f"net.deliver:{src}->{dst}"
+        return tag
+
+    def _prepare_send(
         self,
         src: int,
         dst: int,
         payload: Any,
-        size_bytes: int = DEFAULT_MESSAGE_BYTES,
-        reliable: bool = True,
-    ) -> bool:
-        """Send ``payload`` from ``src`` to ``dst``.
+        size_bytes: int,
+        reliable: bool,
+    ):
+        """Everything :meth:`send` does up to (but not including) the
+        queue insertion.
 
-        Reliable sends are delivered in order per pair, with loss turned
-        into retransmission delay; unreliable sends may be dropped by
-        link loss.  Returns ``False`` when the message is dropped at
-        send time (source down, partition, or sampled loss).
+        Returns ``None`` when the message is dropped at send time, else
+        ``(arrival, delivered_payload, epoch, ctx, fault)``.  Shared by
+        :meth:`send` and :meth:`send_many` so the two paths cannot
+        diverge: counters, liveness/partition/fault checks, loss
+        sampling, FIFO serialization, and the ``net.send`` trace record
+        all happen here, in exactly the per-send order.
         """
         if src not in self._endpoints:
             raise TransportError(f"source node {src} is not attached")
-        self.messages_sent += 1
-        self.bytes_sent += size_bytes
+        self._messages_sent.value += 1
+        self._bytes_sent.value += size_bytes
         if not self.liveness.is_up(src):
             self._drop(src, dst, payload, "source-down")
-            return False
-        if self._crosses_partition(src, dst):
+            return None
+        if self._partition_groups is not None and self._crosses_partition(src, dst):
             self._drop(src, dst, payload, "partition")
-            return False
-        fault = self._consult_faults(src, dst, payload)
+            return None
+        fault = self._consult_faults(src, dst, payload) if self._fault_interposers else None
         if fault is not None and fault.drop:
             self._drop(src, dst, payload, fault.reason)
-            return False
+            return None
 
         link = self.topology.link(src, dst)
-        rng = self.sim.rng.stream("net.loss")
         delay = link.latency
-        if reliable:
-            # Each sampled loss costs one retransmission timeout.
-            while link.loss > 0.0 and rng.random() < link.loss:
-                delay += RETRANSMIT_TIMEOUT + link.latency
-        elif link.loss > 0.0 and rng.random() < link.loss:
-            self._drop(src, dst, payload, "loss")
-            return False
+        if link.loss > 0.0:
+            rng = self._loss_rng
+            if reliable:
+                # Each sampled loss costs one retransmission timeout.
+                while rng.random() < link.loss:
+                    delay += RETRANSMIT_TIMEOUT + link.latency
+            elif rng.random() < link.loss:
+                self._drop(src, dst, payload, "loss")
+                return None
 
         # Serialize through the directed link FIFO and, when capped, the
         # sender's shared uplink.
-        start = max(self.sim.now, self._busy_until.get((src, dst), 0.0))
+        now = self.sim.now
+        start = max(now, self._busy_until.get((src, dst), 0.0))
         uplink_bps = self._uplink_bps.get(src)
         if uplink_bps is not None:
             start = max(start, self._uplink_busy.get(src, 0.0))
@@ -308,31 +326,158 @@ class Network:
             delivered_payload = fault.replace
 
         epoch = self._conn_epoch.get(_pair(src, dst), 0) if reliable else None
-        kind = type(payload).__name__
         tracer = self.sim.causal
-        ctx = (
-            tracer.send_event(src, dst, kind)
-            if tracer is not None else None
-        )
-        self.sim.trace.record(
-            self.sim.now, "net.send", node=src, dst=dst, size=size_bytes,
-            kind=kind,
-        )
+        ctx = None
+        if tracer is not None:
+            ctx = tracer.send_event(src, dst, type(payload).__name__)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(now, "net.send", node=src, dst=dst, size=size_bytes,
+                         kind=type(payload).__name__)
+        return arrival, delivered_payload, epoch, ctx, fault
+
+    def _schedule_duplicates(self, src, dst, arrival, payload, epoch, ctx, fault) -> None:
+        for extra in fault.duplicate_delays[: fault.duplicates]:
+            self._messages_duplicated.value += 1
+            self.sim.schedule_at(
+                arrival + extra,
+                lambda: self._deliver(src, dst, payload, epoch, ctx, dup=True),
+                tag=f"net.deliver-dup:{src}->{dst}",
+            )
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+        reliable: bool = True,
+    ) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Reliable sends are delivered in order per pair, with loss turned
+        into retransmission delay; unreliable sends may be dropped by
+        link loss.  Returns ``False`` when the message is dropped at
+        send time (source down, partition, or sampled loss).
+        """
+        prepared = self._prepare_send(src, dst, payload, size_bytes, reliable)
+        if prepared is None:
+            return False
+        arrival, delivered_payload, epoch, ctx, fault = prepared
         self.sim.schedule_at(
             arrival,
             lambda: self._deliver(src, dst, delivered_payload, epoch, ctx),
-            tag=f"net.deliver:{src}->{dst}",
+            tag=self._deliver_tag(src, dst),
         )
         if fault is not None and fault.duplicates:
-            for extra in fault.duplicate_delays[: fault.duplicates]:
-                self.messages_duplicated += 1
-                self.sim.schedule_at(
-                    arrival + extra,
-                    lambda: self._deliver(src, dst, delivered_payload, epoch,
-                                          ctx, dup=True),
-                    tag=f"net.deliver-dup:{src}->{dst}",
-                )
+            self._schedule_duplicates(src, dst, arrival, delivered_payload,
+                                      epoch, ctx, fault)
         return True
+
+    def send_many(
+        self,
+        src: int,
+        dsts,
+        payload: Any,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+        reliable: bool = True,
+    ) -> List[bool]:
+        """Send ``payload`` from ``src`` to each of ``dsts`` — the
+        broadcast fast path.
+
+        Behaviourally identical to calling :meth:`send` once per
+        destination, in order (same counters, same trace records, same
+        loss draws, same delivery order — the equivalence is pinned by
+        tests/net/test_send_many.py).  The difference is queue pressure:
+        consecutive destinations whose deliveries land at the same
+        arrival instant share ONE queue insertion that fans out at fire
+        time, so a broadcast over a k-peer view costs O(distinct arrival
+        times) heap operations instead of O(k).
+
+        Ordering argument: within ``send_many`` no other event can be
+        scheduled between the per-destination sends, so a contiguous
+        same-arrival run occupies consecutive sequence numbers; firing
+        them from one callback in send order is exactly the order the
+        heap would have produced.  Fault-injected duplicates flush the
+        pending run first so their interleaving matches the sequential
+        path.
+
+        Returns the per-destination accept flags, matching what
+        :meth:`send` would have returned for each.
+        """
+        results: List[bool] = []
+        batch: List[tuple] = []
+        batch_arrival = 0.0
+        schedule_at = self.sim.schedule_at
+        for dst in dsts:
+            prepared = self._prepare_send(src, dst, payload, size_bytes, reliable)
+            if prepared is None:
+                results.append(False)
+                continue
+            arrival, delivered_payload, epoch, ctx, fault = prepared
+            if batch and arrival != batch_arrival:
+                self._flush_batch(src, batch_arrival, batch)
+                batch = []
+            batch.append((dst, delivered_payload, epoch, ctx))
+            batch_arrival = arrival
+            if fault is not None and fault.duplicates:
+                self._flush_batch(src, batch_arrival, batch)
+                batch = []
+                self._schedule_duplicates(src, dst, arrival, delivered_payload,
+                                          epoch, ctx, fault)
+            results.append(True)
+        if batch:
+            self._flush_batch(src, batch_arrival, batch)
+        return results
+
+    def _flush_batch(self, src: int, arrival: float, batch: List[tuple]) -> None:
+        if len(batch) == 1:
+            dst, payload, epoch, ctx = batch[0]
+            self.sim.schedule_at(
+                arrival,
+                lambda: self._deliver(src, dst, payload, epoch, ctx),
+                tag=self._deliver_tag(src, dst),
+            )
+            return
+        tag = self._batch_tags.get(src)
+        if tag is None:
+            tag = self._batch_tags[src] = f"net.deliver-many:{src}"
+        self.sim.schedule_at(
+            arrival, lambda: self._deliver_batch(src, batch), tag=tag,
+        )
+
+    def _deliver_batch(self, src: int, batch: List[tuple]) -> None:
+        if self.sim.causal is not None:
+            for dst, payload, epoch, ctx in batch:
+                self._deliver(src, dst, payload, epoch, ctx)
+            return
+        # Common case (no causal tracer), inlined from _deliver with the
+        # per-message attribute walks hoisted: a k-peer broadcast fires
+        # k application handlers from one event, so this loop IS the
+        # simulator's hot loop at scale.
+        conn_epoch_get = self._conn_epoch.get
+        is_up = self.liveness.is_up
+        endpoints_get = self._endpoints.get
+        delivered = self._messages_delivered
+        trace = self.sim.trace
+        for dst, payload, epoch, ctx in batch:
+            if (epoch is not None
+                    and conn_epoch_get(_pair(src, dst), 0) != epoch):
+                self._drop(src, dst, payload, "connection-broken", ctx,
+                           at_dst=True)
+                continue
+            if not is_up(dst):
+                self._drop(src, dst, payload, "destination-down", ctx,
+                           at_dst=True)
+                continue
+            endpoint = endpoints_get(dst)
+            if endpoint is None:
+                self._drop(src, dst, payload, "detached", ctx, at_dst=True)
+                continue
+            delivered.value += 1
+            if trace.enabled:
+                trace.record(self.sim.now, "net.deliver", node=dst, src=src)
+            endpoint.on_message(src, dst, payload)
 
     def _deliver(
         self,
@@ -353,10 +498,12 @@ class Network:
         if endpoint is None:
             self._drop(src, dst, payload, "detached", ctx, at_dst=True)
             return
-        self.messages_delivered += 1
+        self._messages_delivered.value += 1
         tracer = self.sim.causal
         if tracer is None:
-            self.sim.trace.record(self.sim.now, "net.deliver", node=dst, src=src)
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.record(self.sim.now, "net.deliver", node=dst, src=src)
             endpoint.on_message(src, dst, payload)
             return
         event = tracer.deliver_event(ctx, dst, dup=dup)
@@ -380,14 +527,16 @@ class Network:
         ctx: Optional[Any] = None,
         at_dst: bool = False,
     ) -> None:
-        self.messages_dropped += 1
+        self._messages_dropped.value += 1
         tracer = self.sim.causal
         if tracer is not None:
             tracer.drop_event(dst if at_dst else src, ctx)
-        self.sim.trace.record(
-            self.sim.now, "net.drop", node=src, dst=dst, reason=reason,
-            kind=type(payload).__name__,
-        )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(
+                self.sim.now, "net.drop", node=src, dst=dst, reason=reason,
+                kind=type(payload).__name__,
+            )
 
     # ------------------------------------------------------------------
     # Connections

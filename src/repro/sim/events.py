@@ -4,55 +4,88 @@ Events are callbacks scheduled at a simulated timestamp.  Ordering is
 total and deterministic: ties on time are broken by insertion sequence
 number, so two runs with the same schedule produce identical event
 orders.  Cancellation is O(1) via tombstoning.
+
+The entry representation is tuned for the hot loop (this queue absorbs
+every message delivery and timer in a simulation, and worlds now reach
+thousands of nodes):
+
+* an entry is a plain 4-slot list ``[time, seq, callback, tag]`` —
+  heap comparisons stop at the unique ``seq``, so the callback is never
+  compared and no dataclass ordering protocol runs;
+* the handle returned by :meth:`push` holds the entry itself, so
+  :meth:`cancel` needs no side dict keyed by ``(time, seq)`` (the seed
+  implementation paid one dict insert + delete per event);
+* a cancelled entry just has its callback slot set to ``None``;
+  tombstones are dropped lazily at pop time and compacted in batch
+  once they dominate the heap, keeping cancel-heavy workloads (timer
+  re-arms, retransmission timers) from bloating it.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
+
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_TAG = 3
+
+# Compact the heap once at least this many tombstones have accumulated
+# AND they outnumber the live entries.  The floor keeps tiny queues from
+# compacting on every cancel; the ratio bounds wasted memory at 2x.
+_COMPACT_MIN_DEAD = 512
 
 
-@dataclass(frozen=True)
 class EventHandle:
     """Opaque handle returned by :meth:`EventQueue.push`.
 
-    Holds enough information to cancel the event and to introspect it in
-    traces; the callback itself lives in the queue entry.
+    Holds the queue entry itself, which is what makes cancellation O(1)
+    without any auxiliary index; ``time``/``seq``/``tag`` are exposed
+    for introspection and traces.
     """
 
-    time: float
-    seq: int
-    tag: str
+    __slots__ = ("_entry",)
 
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    tag: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def tag(self) -> str:
+        return self._entry[_TAG]
+
+    def __repr__(self) -> str:
+        state = "cancelled/fired" if self._entry[_CALLBACK] is None else "live"
+        return f"EventHandle(time={self.time!r}, seq={self.seq}, tag={self.tag!r}, {state})"
 
 
 class EventQueue:
     """A cancellable priority queue of timed callbacks."""
 
+    __slots__ = ("_heap", "_next_seq", "_live", "_dead")
+
     def __init__(self) -> None:
-        self._heap: list[_Entry] = []
-        self._seq = itertools.count()
+        self._heap: List[list] = []
+        self._next_seq = 0
         self._live = 0
-        self._entries: dict[tuple[float, int], _Entry] = {}
+        self._dead = 0
 
     def push(self, time: float, callback: Callable[[], None], tag: str = "") -> EventHandle:
         """Schedule ``callback`` at simulated ``time`` and return a handle."""
-        seq = next(self._seq)
-        entry = _Entry(time=float(time), seq=seq, callback=callback, tag=tag)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [float(time), seq, callback, tag]
         heapq.heappush(self._heap, entry)
-        self._entries[(entry.time, seq)] = entry
         self._live += 1
-        return EventHandle(time=entry.time, seq=seq, tag=tag)
+        return EventHandle(entry)
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a scheduled event.
@@ -60,37 +93,72 @@ class EventQueue:
         Returns ``True`` if the event was live and is now cancelled,
         ``False`` if it already fired or was already cancelled.
         """
-        entry = self._entries.get((handle.time, handle.seq))
-        if entry is None or entry.cancelled:
+        entry = handle._entry
+        if entry[_CALLBACK] is None:
             return False
-        entry.cancelled = True
+        entry[_CALLBACK] = None
         self._live -= 1
+        self._dead += 1
+        if self._dead > _COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
         return True
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` if empty."""
-        self._drop_dead()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
+            self._dead -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][_TIME]
 
-    def pop(self) -> tuple[float, str, Callable[[], None]]:
+    def pop(self) -> Tuple[float, str, Callable[[], None]]:
         """Remove and return the next live event as ``(time, tag, callback)``.
 
         Raises :class:`IndexError` when the queue holds no live events.
         """
-        self._drop_dead()
-        if not self._heap:
-            raise IndexError("pop from empty EventQueue")
-        entry = heapq.heappop(self._heap)
-        del self._entries[(entry.time, entry.seq)]
-        self._live -= 1
-        return entry.time, entry.tag, entry.callback
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
+                self._dead -= 1
+                continue
+            entry[_CALLBACK] = None  # a popped handle can no longer cancel
+            self._live -= 1
+            return entry[_TIME], entry[_TAG], callback
+        raise IndexError("pop from empty EventQueue")
 
-    def _drop_dead(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            entry = heapq.heappop(self._heap)
-            del self._entries[(entry.time, entry.seq)]
+    def pop_if(self, max_time: Optional[float] = None):
+        """Pop the next live event if its time is ``<= max_time``.
+
+        Returns ``(time, tag, callback)`` or ``None`` when the queue is
+        empty or the next event lies beyond ``max_time``.  This is the
+        scheduler's run-loop fast path: one heap inspection instead of a
+        peek followed by a pop.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                heapq.heappop(heap)
+                self._dead -= 1
+                continue
+            if max_time is not None and entry[_TIME] > max_time:
+                return None
+            heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            entry[_CALLBACK] = None
+            self._live -= 1
+            return entry[_TIME], entry[_TAG], callback
+        return None
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (batched, amortized)."""
+        self._heap = [entry for entry in self._heap if entry[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -99,7 +167,7 @@ class EventQueue:
         return self._live > 0
 
     def __repr__(self) -> str:
-        return f"EventQueue(live={self._live})"
+        return f"EventQueue(live={self._live}, tombstones={self._dead})"
 
 
 __all__ = ["EventHandle", "EventQueue"]

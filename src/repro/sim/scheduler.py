@@ -91,16 +91,22 @@ class Simulator:
         number of events dispatched by this call.
         """
         dispatched = 0
+        # Inlined hot loop: pop_if does the peek and the pop in one heap
+        # inspection, and the clock/counter accesses are hoisted out of
+        # the attribute-lookup chain.
+        pop_if = self.queue.pop_if
+        advance_to = self.clock.advance_to
         while True:
             if max_events is not None and dispatched >= max_events:
                 break
-            next_time = self.queue.peek_time()
-            if next_time is None:
+            popped = pop_if(until)
+            if popped is None:
                 break
-            if until is not None and next_time > until:
-                break
-            self.step()
+            time, _tag, callback = popped
+            advance_to(time)
             dispatched += 1
+            callback()
+        self.events_dispatched += dispatched
         if until is not None and until > self.now:
             self.clock.advance_to(until)
         return dispatched

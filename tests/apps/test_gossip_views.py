@@ -1,0 +1,63 @@
+"""Gossip over partial views: dissemination without a full membership."""
+
+from repro.apps.gossip import (
+    GossipConfig,
+    ViewGossip,
+    all_delivered,
+    coverage,
+    make_view_gossip_factory,
+)
+from repro.choice import RandomResolver
+from repro.net import ViewConfig
+from repro.statemachine import Cluster
+
+
+def run_view_gossip(n=32, rumor_count=4, seed=5, until=25.0, **view_kwargs):
+    config = GossipConfig(n=n, rumor_count=rumor_count, publish_interval=0.1)
+    factory = make_view_gossip_factory(config, ViewConfig(**view_kwargs))
+    cluster = Cluster(n, factory, seed=seed,
+                      resolver_factory=lambda nid: RandomResolver(seed))
+    cluster.start_all()
+    cluster.run(until=until)
+    return cluster
+
+
+def test_rumors_reach_every_node_over_views():
+    cluster = run_view_gossip()
+    assert coverage(cluster.services, 4) == 1.0
+    assert all_delivered(cluster.services, 4)
+
+
+def test_candidates_bounded_by_active_view():
+    cluster = run_view_gossip(n=48, active_size=4)
+    for svc in cluster.services:
+        candidates = svc.gossip_candidates()
+        assert candidates == list(svc.active)
+        assert len(candidates) <= 4
+        # A full-mesh ExposedGossip would expose all n-1 peers here.
+        assert len(candidates) < 47
+
+
+def test_view_state_rides_in_checkpoints():
+    cluster = run_view_gossip(n=16, until=10.0)
+    snap = cluster.service(5).checkpoint()
+    for fld in ("known_at", "active", "passive"):
+        assert fld in snap
+
+
+def test_view_gossip_composes_both_handler_sets():
+    # The mixin MRO must pick up membership handlers AND gossip handlers.
+    message_types = {cls.__name__ for cls in ViewGossip._msg_handlers}
+    assert "ViewJoin" in message_types
+    assert "GossipPush" in message_types
+    timer_names = set(ViewGossip._timer_handlers)
+    assert "view-shuffle" in timer_names
+    assert "gossip" in timer_names
+
+
+def test_dissemination_survives_node_failure():
+    cluster = run_view_gossip(n=32, until=8.0, probe_period=0.25)
+    cluster.network.liveness.fail(9)
+    cluster.run(until=30.0)
+    survivors = [s for s in cluster.services if s.node_id != 9]
+    assert all(set(range(4)) <= set(s.known) for s in survivors)

@@ -1,0 +1,77 @@
+"""RandTree over partial views: tree maintenance with view-based repair."""
+
+from repro.apps.randtree import (
+    RandTreeConfig,
+    ViewRandTree,
+    make_view_randtree_factory,
+    tree_depths,
+    unattached_nodes,
+)
+from repro.apps.randtree.common import child_parent_consistent, no_self_loop
+from repro.choice import RandomResolver
+from repro.net import ViewConfig
+from repro.statemachine import Cluster
+
+
+def run_view_tree(n=24, seed=4, until=15.0, config=None, **view_kwargs):
+    factory = make_view_randtree_factory(config, ViewConfig(**view_kwargs))
+    cluster = Cluster(n, factory, seed=seed,
+                      resolver_factory=lambda nid: RandomResolver(seed))
+    cluster.start_all()
+    cluster.run(until=until)
+    return cluster
+
+
+def states_of(cluster):
+    return {s.node_id: s.checkpoint() for s in cluster.services}
+
+
+def test_all_nodes_attach_over_views():
+    cluster = run_view_tree()
+    states = states_of(cluster)
+    assert unattached_nodes(states, root=0) == set()
+    assert len(tree_depths(states, root=0)) == 24
+
+
+def test_safety_properties_hold_over_views():
+    cluster = run_view_tree(n=24)
+    states = states_of(cluster)
+    for nid, state in states.items():
+        assert no_self_loop(nid, state)
+    items = sorted(states.items())
+    for a, sa in items:
+        for b, sb in items:
+            if a < b:
+                assert child_parent_consistent(a, sa, b, sb)
+
+
+def test_rejoin_candidates_include_active_view():
+    cluster = run_view_tree(n=24)
+    for svc in cluster.services:
+        candidates = svc.rejoin_candidates()
+        for peer in svc.active:
+            assert peer in candidates
+        assert svc.node_id not in candidates
+
+
+def test_parent_loss_triggers_view_repair():
+    """Kill an interior node: membership probes notice, children rejoin
+    through their views, and the tree heals with no unattached nodes."""
+    cluster = run_view_tree(n=24, until=12.0, probe_period=0.25)
+    services = {s.node_id: s for s in cluster.services}
+    victim = next(nid for nid, s in services.items()
+                  if nid != 0 and s.children)
+    cluster.network.liveness.fail(victim)
+    cluster.run(until=40.0)
+    survivors = {nid: s.checkpoint() for nid, s in services.items()
+                 if nid != victim}
+    assert unattached_nodes(survivors, root=0) == set()
+    depths = tree_depths(survivors, root=0)
+    assert set(depths) == set(survivors)
+
+
+def test_view_tree_handler_sets_compose():
+    message_types = {cls.__name__ for cls in ViewRandTree._msg_handlers}
+    assert "ViewJoin" in message_types
+    assert "Join" in message_types
+    assert "view-probe" in set(ViewRandTree._timer_handlers)

@@ -102,3 +102,95 @@ def test_transit_stub_triangle_structure():
 def test_transit_stub_requires_transit_nodes():
     with pytest.raises(TopologyError):
         transit_stub(4, random.Random(0), n_transit=0)
+
+
+# ----------------------------------------------------------------------
+# Sparse / lazy topologies (the 1k-node rework)
+# ----------------------------------------------------------------------
+
+
+def test_node_ids_is_cached_range_view():
+    topo = Topology(1000, default=Link(latency=0.01))
+    ids = topo.node_ids
+    assert ids is topo.node_ids            # cached, not rebuilt per call
+    assert isinstance(ids, range)
+    assert len(ids) == 1000
+    assert list(ids[:3]) == [0, 1, 2]
+
+
+def test_star_materializes_no_explicit_links():
+    topo = star(1000, center=0, spoke_latency=0.02)
+    assert len(list(topo.pairs())) == 0    # all structure is computed
+    assert topo.latency(0, 999) == pytest.approx(0.02)
+    assert topo.latency(500, 999) == pytest.approx(0.04)
+    assert topo.latency(7, 7) == 0.0
+
+
+def test_random_uniform_lazy_matches_bounds_and_symmetry():
+    topo = random_uniform(64, random.Random(5), latency_range=(0.01, 0.05),
+                          lazy=True)
+    assert len(list(topo.pairs())) == 0
+    for i, j in [(0, 1), (3, 60), (63, 0), (17, 42)]:
+        lat = topo.latency(i, j)
+        assert 0.01 <= lat <= 0.05
+        assert lat == topo.latency(j, i)
+
+
+def test_random_uniform_lazy_deterministic_per_seed():
+    a = random_uniform(64, random.Random(9), lazy=True)
+    b = random_uniform(64, random.Random(9), lazy=True)
+    for i, j in [(0, 1), (10, 50), (63, 62)]:
+        assert a.latency(i, j) == b.latency(i, j)
+
+
+def test_random_uniform_eager_path_unchanged_by_lazy_flag_default():
+    # lazy=False must keep the historical draw sequence byte-for-byte.
+    a = random_uniform(6, random.Random(2))
+    b = random_uniform(6, random.Random(2), lazy=False)
+    for i in range(6):
+        for j in range(6):
+            assert a.latency(i, j) == b.latency(i, j)
+
+
+def test_transit_stub_grouped_mode_scales_sparse():
+    topo = transit_stub(rng=random.Random(7), n_stubs=32, stub_size=32)
+    assert topo.n == 1024
+    assert len(list(topo.pairs())) == 0
+    # Same-stub pairs ride two access links; cross-stub pays the core.
+    same = topo.latency(0, 1)
+    cross = topo.latency(0, 1023)
+    assert 0.0 < same < cross
+    assert topo.latency(0, 1023) == topo.latency(1023, 0)
+
+
+def test_transit_stub_grouped_mode_deterministic():
+    a = transit_stub(rng=random.Random(8), n_stubs=8, stub_size=16)
+    b = transit_stub(rng=random.Random(8), n_stubs=8, stub_size=16)
+    for pair in [(0, 1), (5, 100), (127, 64)]:
+        assert a.latency(*pair) == b.latency(*pair)
+
+
+def test_transit_stub_grouped_mode_argument_validation():
+    with pytest.raises(TopologyError):
+        transit_stub(rng=random.Random(0), n_stubs=4)        # missing size
+    with pytest.raises(TopologyError):
+        transit_stub(rng=random.Random(0), stub_size=4)      # missing count
+    with pytest.raises(TopologyError):
+        transit_stub(rng=random.Random(0), n_stubs=0, stub_size=4)
+    with pytest.raises(TopologyError):
+        transit_stub(12, random.Random(0), n_stubs=4, stub_size=4)  # 16 != 12
+
+
+def test_transit_stub_legacy_lazy_keeps_structure():
+    eager = transit_stub(16, random.Random(6), n_transit=2)
+    lazy = transit_stub(16, random.Random(6), n_transit=2, lazy=True)
+    for i in range(16):
+        for j in range(16):
+            assert eager.latency(i, j) == lazy.latency(i, j)
+
+
+def test_set_link_still_overrides_computed_topology():
+    topo = star(100, center=0, spoke_latency=0.02)
+    topo.set_link(3, 4, Link(latency=0.5))
+    assert topo.latency(3, 4) == 0.5
+    assert topo.latency(4, 3) == pytest.approx(0.04)   # computed fallback

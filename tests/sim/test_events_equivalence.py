@@ -1,0 +1,203 @@
+"""The reworked EventQueue must behave exactly like the seed queue.
+
+``SeedEventQueue`` below is the pre-rework implementation (ordered
+dataclass entries + a ``(time, seq)`` side dict).  The hypothesis
+property drives both queues through the same random schedule of
+push/cancel/pop operations and asserts identical observable behaviour:
+pop order, cancel return values, lengths, and peek times.  The new
+``pop_if`` fast path is checked against peek+pop on the seed.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import EventQueue
+
+
+# ----------------------------------------------------------------------
+# The seed implementation, embedded verbatim (modulo docstrings)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeedEventHandle:
+    time: float
+    seq: int
+    tag: str
+
+
+@dataclass(order=True)
+class _SeedEntry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class SeedEventQueue:
+    def __init__(self) -> None:
+        self._heap: List[_SeedEntry] = []
+        self._entries: Dict[Tuple[float, int], _SeedEntry] = {}
+        self._next_seq = 0
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], None], tag: str = "") -> SeedEventHandle:
+        seq = self._next_seq
+        self._next_seq += 1
+        entry = _SeedEntry(time=float(time), seq=seq, callback=callback, tag=tag)
+        heapq.heappush(self._heap, entry)
+        self._entries[(entry.time, seq)] = entry
+        self._live += 1
+        return SeedEventHandle(time=entry.time, seq=seq, tag=tag)
+
+    def cancel(self, handle: SeedEventHandle) -> bool:
+        entry = self._entries.get((handle.time, handle.seq))
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        self._live -= 1
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Tuple[float, str, Callable[[], None]]:
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        entry = heapq.heappop(self._heap)
+        del self._entries[(entry.time, entry.seq)]
+        self._live -= 1
+        return entry.time, entry.tag, entry.callback
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            entry = heapq.heappop(self._heap)
+            del self._entries[(entry.time, entry.seq)]
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+# ----------------------------------------------------------------------
+# Random-schedule equivalence
+# ----------------------------------------------------------------------
+
+# An operation is (kind, time_index, handle_index):
+#   kind 0 = push at times[time_index]
+#   kind 1 = cancel the handle_index-th issued handle (if any)
+#   kind 2 = pop
+#   kind 3 = peek_time
+#   kind 4 = pop_if(times[time_index]) vs seed peek+pop
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=19),
+        st.integers(min_value=0, max_value=63),
+    ),
+    min_size=1,
+    max_size=120,
+)
+times_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=20, max_size=20,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=ops_strategy, times=times_strategy)
+def test_random_schedules_match_seed_queue(ops, times):
+    new_q, seed_q = EventQueue(), SeedEventQueue()
+    new_handles, seed_handles = [], []
+    trace_new, trace_seed = [], []
+
+    for kind, t_idx, h_idx in ops:
+        if kind == 0:
+            time = times[t_idx]
+            tag = f"op{len(new_handles)}"
+            nh = new_q.push(time, lambda: None, tag=tag)
+            sh = seed_q.push(time, lambda: None, tag=tag)
+            assert (nh.time, nh.seq, nh.tag) == (sh.time, sh.seq, sh.tag)
+            new_handles.append(nh)
+            seed_handles.append(sh)
+        elif kind == 1:
+            if not new_handles:
+                continue
+            idx = h_idx % len(new_handles)
+            assert new_q.cancel(new_handles[idx]) == seed_q.cancel(seed_handles[idx])
+        elif kind == 2:
+            if bool(seed_q):
+                n_time, n_tag, _ = new_q.pop()
+                s_time, s_tag, _ = seed_q.pop()
+                trace_new.append((n_time, n_tag))
+                trace_seed.append((s_time, s_tag))
+            else:
+                for q in (new_q, seed_q):
+                    try:
+                        q.pop()
+                        raise AssertionError("expected IndexError")
+                    except IndexError:
+                        pass
+        elif kind == 3:
+            assert new_q.peek_time() == seed_q.peek_time()
+        else:
+            max_time = times[t_idx]
+            popped = new_q.pop_if(max_time)
+            seed_next = seed_q.peek_time()
+            if seed_next is not None and seed_next <= max_time:
+                s_time, s_tag, _ = seed_q.pop()
+                assert popped is not None
+                assert (popped[0], popped[1]) == (s_time, s_tag)
+            else:
+                assert popped is None
+        assert len(new_q) == len(seed_q)
+        assert bool(new_q) == bool(seed_q)
+
+    # Drain both queues: the full remaining order must agree.
+    while seed_q:
+        n_time, n_tag, _ = new_q.pop()
+        s_time, s_tag, _ = seed_q.pop()
+        trace_new.append((n_time, n_tag))
+        trace_seed.append((s_time, s_tag))
+    assert not new_q
+    assert trace_new == trace_seed
+
+
+def test_compaction_keeps_order_under_cancel_storm():
+    """Mass cancellation crosses the batched-compaction threshold; the
+    survivors must still come out in (time, seq) order."""
+    queue = EventQueue()
+    handles = [queue.push(float(i % 97), lambda: None, tag=str(i)) for i in range(4000)]
+    for i, handle in enumerate(handles):
+        if i % 5 != 0:
+            queue.cancel(handle)
+    expected = sorted(
+        (float(i % 97), i) for i in range(4000) if i % 5 == 0
+    )
+    got = []
+    while queue:
+        time, tag, _ = queue.pop()
+        got.append((time, int(tag)))
+    assert got == expected
+
+
+def test_pop_if_none_bound_pops_everything_in_order():
+    queue = EventQueue()
+    for i in (3, 1, 2):
+        queue.push(float(i), lambda: None, tag=str(i))
+    out = []
+    while True:
+        popped = queue.pop_if(None)
+        if popped is None:
+            break
+        out.append(popped[1])
+    assert out == ["1", "2", "3"]
