@@ -1,0 +1,151 @@
+"""T1 — batched Multi-Paxos throughput under a high-rate client load.
+
+Not a paper figure: the production-Paxos stress test.  A closed-loop
+:class:`~repro.apps.paxos.ClientLoad` generator offers 10^5 commands to
+five batched Multi-Paxos replicas over the reference WAN while an A7
+chaos plan runs against the cluster, and the committed-ops rate is
+measured twice:
+
+* **steering off** — every exposed choice resolves to its first
+  candidate: batch size 1, local proposer, unit retry pacing.  This is
+  the legacy single-decree-per-instance replica.
+* **steering on** — the deployment-model resolver
+  (:func:`~repro.apps.paxos.make_throughput_resolver`) sizes batches
+  from queue depth and observed conflict, routes loaded/edge replicas'
+  batches through cheap proxies, and stretches retry pacing under
+  conflict.
+
+Safety is asserted throughout, not just at the end: cross-replica
+agreement and at-most-once execution are probed every few simulated
+seconds during every run.  A same-seed double run must produce
+identical decided-log digests (the campaign is a pure function of its
+seed).
+"""
+
+import os
+
+import pytest
+
+from repro.eval import run_throughput_experiment, standard_plans
+
+from conftest import print_table, record_metrics
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 1
+N = 5
+TOTAL = 4_000 if QUICK else 100_000
+HORIZON = 15.0 if QUICK else 60.0
+PLANS = {p.name: p for p in standard_plans(N, HORIZON, amnesia=False)}
+
+_RESULTS = {}
+
+
+def _run(steering: bool, plan_name: str, total=TOTAL, horizon=HORIZON,
+         seed=SEED):
+    key = (steering, plan_name, total, horizon, seed)
+    if key not in _RESULTS:
+        _RESULTS[key] = run_throughput_experiment(
+            steering, seed=seed, total_requests=total, horizon=horizon,
+            plan=PLANS[plan_name],
+        )
+    return _RESULTS[key]
+
+
+@pytest.mark.parametrize("plan_name", ("message-chaos", "crash-recovery"))
+def test_t1_steering_beats_static_default(benchmark, plan_name):
+    """Steering-on commits strictly more ops/sec than steering-off,
+    with agreement and at-most-once intact under chaos."""
+
+    def sweep():
+        return [_run(False, plan_name), _run(True, plan_name)]
+
+    off, on = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"T1: batched Multi-Paxos under {plan_name} "
+        f"({TOTAL:,} offered, {HORIZON:g}s horizon)",
+        ("steering", "offered", "committed", "ops/s", "mean batch",
+         "probes", "safe"),
+        [
+            (
+                "on" if r.steering else "off", f"{r.offered:,}",
+                f"{r.committed:,}", f"{r.ops_per_sec:,.0f}",
+                f"{r.mean_batch:.1f}", r.probes, r.safe,
+            )
+            for r in (off, on)
+        ],
+    )
+    for r in (off, on):
+        assert r.agreement, f"agreement violated ({'on' if r.steering else 'off'})"
+        assert r.at_most_once, "a replica applied a command twice"
+        assert r.probes >= 3, "safety was not probed during the run"
+        assert r.committed > 0
+    assert on.ops_per_sec > off.ops_per_sec, (
+        f"steering did not help: {on.ops_per_sec:.0f} <= {off.ops_per_sec:.0f}"
+    )
+    assert on.mean_batch > 1.0, "steering never chose a batch larger than 1"
+    record_metrics(
+        "T1",
+        **{
+            f"{plan_name}.ops_per_sec_steering_on": round(on.ops_per_sec, 1),
+            f"{plan_name}.ops_per_sec_steering_off": round(off.ops_per_sec, 1),
+            f"{plan_name}.speedup": round(on.ops_per_sec / max(off.ops_per_sec, 1e-9), 2),
+            f"{plan_name}.committed_on": on.committed,
+            f"{plan_name}.committed_off": off.committed,
+            f"{plan_name}.mean_batch_on": round(on.mean_batch, 1),
+        },
+    )
+
+
+def test_t1_campaign_scale_and_safety(benchmark):
+    """The campaign offers the headline request volume (>= 10^5 in the
+    full run) and every run held both safety properties."""
+
+    def materialize():
+        for plan_name in ("message-chaos", "crash-recovery"):
+            _run(False, plan_name)
+            _run(True, plan_name)
+        return list(_RESULTS.values())
+
+    results = benchmark.pedantic(materialize, rounds=1, iterations=1)
+    offered = sum(r.offered for r in results)
+    committed = sum(r.committed for r in results)
+    floor = 8_000 if QUICK else 100_000
+    assert offered >= floor, f"campaign offered only {offered} requests"
+    assert all(r.safe for r in results)
+    record_metrics(
+        "T1",
+        quick=QUICK,
+        seed=SEED,
+        horizon_s=HORIZON,
+        total_requests_per_run=TOTAL,
+        campaign_offered=offered,
+        campaign_committed=committed,
+    )
+
+
+def test_t1_seed_reproducibility(benchmark):
+    """Same (seed, configuration) → identical decided-log digests."""
+    total, horizon = 1_500, 10.0
+
+    def run_twice():
+        first = run_throughput_experiment(
+            True, seed=7, total_requests=total, horizon=horizon,
+            plan=standard_plans(N, horizon, amnesia=False)[0],
+        )
+        second = run_throughput_experiment(
+            True, seed=7, total_requests=total, horizon=horizon,
+            plan=standard_plans(N, horizon, amnesia=False)[0],
+        )
+        return first, second
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    print_table(
+        "T1: replay determinism",
+        ("run", "state digest", "committed"),
+        [("first", first.state_digest, first.committed),
+         ("second", second.state_digest, second.committed)],
+    )
+    assert first.state_digest == second.state_digest
+    assert first.committed == second.committed
+    record_metrics("T1", repro_digest=first.state_digest)

@@ -49,6 +49,7 @@ KNOWN_BENCH_IDS: Dict[str, str] = {
     "P2": "cross-round incremental prediction + delta checkpoints",
     "R1": "adversarial scenario search (fuzz vs random)",
     "S1": "simulator scale (hot loop, sparse topologies, partial views)",
+    "T1": "batched Multi-Paxos throughput under chaos (steering on/off)",
 }
 
 # Per-bench-id accumulators, flushed to BENCH_<ID>.json at session end.

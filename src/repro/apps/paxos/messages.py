@@ -15,12 +15,17 @@ with a higher ballot goes through the full two-phase protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from ...statemachine import Message
 
 Command = Tuple[int, int]
+
+# A log value is either a single command (legacy single-decree mode) or
+# a batch: a tuple of commands decided in one instance.  ``unpack_value``
+# normalizes both shapes into the command sequence they carry.
+Batch = Tuple[Command, ...]
 
 NO_BALLOT = -1
 
@@ -47,6 +52,19 @@ class PaxosConfig:
     retry_sweep_period: float = 0.5
     gapfill_period: float = 1.0
     processing_delays: Optional[Tuple[float, ...]] = None
+    # Batched Multi-Paxos (see apps.paxos.batched).  ``batch_size_choices``
+    # are the candidates of the exposed "batch-size" choice — the first
+    # entry is the static default a steering-off deployment gets, so the
+    # legacy single-command-per-instance behaviour is candidates[0] == 1.
+    # ``pipeline_depth`` bounds concurrent in-flight own-slot instances;
+    # ``retry_pacing_choices`` scale ``retry_timeout`` (the exposed
+    # "retry-pacing" choice); ``catchup_period``/``catchup_window``
+    # drive the learner catch-up protocol.
+    batch_size_choices: Tuple[int, ...] = (1, 8, 32, 128)
+    pipeline_depth: int = 4
+    retry_pacing_choices: Tuple[float, ...] = (1.0, 2.0, 4.0)
+    catchup_period: float = 1.0
+    catchup_window: int = 256
 
     @property
     def majority(self) -> int:
@@ -120,10 +138,16 @@ class AcceptedMsg(Message):
 @dataclass
 class Nack(Message):
     """Rejection carrying the acceptor's current promise, so the
-    proposer can escalate to a higher round."""
+    proposer can escalate to a higher round.
+
+    ``ballot`` echoes the rejected proposal's ballot: the proposer only
+    honours a Nack whose ballot matches its *current* attempt, so a
+    stale Nack from a superseded round cannot inflate ``min_round``.
+    """
 
     instance: int
     promised: int
+    ballot: int = NO_BALLOT
 
 
 @dataclass
@@ -134,14 +158,104 @@ class Learn(Message):
     value: Command
 
 
+def unpack_value(value) -> Tuple[Command, ...]:
+    """The commands carried by a decided log value.
+
+    A value is either the NOOP filler (no commands), a single command
+    ``(origin, seq)``, or a batch — a tuple of commands.  Batches are
+    distinguished structurally: their first element is itself a tuple.
+    """
+    value = tuple(value)
+    if value == NOOP or not value:
+        return ()
+    if isinstance(value[0], (tuple, list)):
+        return tuple(tuple(v) for v in value)
+    return (value,)
+
+
+@dataclass
+class SubmitBurst(Message):
+    """A burst of client commands submitted to one replica.
+
+    ``origin`` names the replica responsible for latency bookkeeping:
+    a burst forwarded between replicas (the exposed proposer choice)
+    keeps its original origin so commands are not double-counted.
+    """
+
+    commands: Tuple[Command, ...]
+    origin: int
+
+
+@dataclass
+class PrepareRange(Message):
+    """Phase 1a over the sender's own slots ``>= from_instance``.
+
+    The proactive prepare of batched Multi-Paxos: one promise quorum
+    for an unbounded instance range lets the owner skip phase 1 for
+    every future own-slot proposal until preempted.
+    """
+
+    from_instance: int
+    round_number: int
+
+
+@dataclass
+class PromiseRange(Message):
+    """Phase 1b for a ranged prepare.
+
+    ``accepted`` reports every proposal this acceptor has accepted in
+    the granted range (instance -> (ballot, value)) so the new owner
+    round re-proposes them; ``max_inst`` is the highest instance the
+    acceptor has seen occupied anywhere, driving the owner's
+    ``instance_seq`` advancement past the decided prefix.
+    """
+
+    round_number: int
+    from_instance: int
+    max_inst: int
+    accepted: Dict[int, Tuple[int, Batch]] = field(default_factory=dict)
+
+
+@dataclass
+class QueryLastInstance(Message):
+    """Learner catch-up, step 1: ask peers how far the log extends."""
+
+
+@dataclass
+class LastInstanceResponse(Message):
+    """Reply to :class:`QueryLastInstance`: the peer's ``max_inst``."""
+
+    max_inst: int
+
+
+@dataclass
+class Catchup(Message):
+    """Learner catch-up, step 2: request decided values from
+    ``from_instance`` onward."""
+
+    from_instance: int
+
+
+@dataclass
+class CatchupResponse(Message):
+    """A window of decided values (instance -> value), plus the
+    responder's ``max_inst`` so the learner knows whether to keep
+    asking."""
+
+    entries: Dict[int, Batch]
+    max_inst: int
+
+
 __all__ = [
     "Command",
+    "Batch",
     "NO_BALLOT",
     "NOOP",
     "PaxosConfig",
     "make_ballot",
     "ballot_proposer",
     "slot_owner",
+    "unpack_value",
     "ClientRequest",
     "Prepare",
     "Promise",
@@ -149,4 +263,11 @@ __all__ = [
     "AcceptedMsg",
     "Nack",
     "Learn",
+    "SubmitBurst",
+    "PrepareRange",
+    "PromiseRange",
+    "QueryLastInstance",
+    "LastInstanceResponse",
+    "Catchup",
+    "CatchupResponse",
 ]

@@ -20,7 +20,8 @@ three designs over identical protocol code:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, Optional, Set
 
 from ...statemachine import Service, msg_handler, timer_handler
 from .messages import (
@@ -36,6 +37,7 @@ from .messages import (
     Prepare,
     Promise,
     make_ballot,
+    unpack_value,
 )
 
 
@@ -46,7 +48,7 @@ class PaxosReplica(Service):
         "promised", "accepted", "chosen",
         "next_seq", "next_own_round", "proposals",
         "my_requests", "committed", "cpu_queue",
-        "exec_upto", "executed",
+        "exec_upto", "executed", "applied",
     )
 
     def __init__(self, node_id: int, config: Optional[PaxosConfig] = None) -> None:
@@ -65,12 +67,15 @@ class PaxosReplica(Service):
         self.my_requests: Dict[Command, float] = {}
         self.committed: Dict[Command, list] = {}
         # Commands waiting for this (loaded) replica's CPU.
-        self.cpu_queue: List[Command] = []
+        self.cpu_queue: deque = deque()
         # Replicated-log execution: instances [0, exec_upto) are decided
         # and applied; ``executed`` is the in-order command sequence
-        # (NOOP fillers excluded).
+        # (NOOP fillers excluded).  ``applied`` enforces at-most-once
+        # apply: a command chosen in two instances (recovery can
+        # duplicate it) still executes exactly once.
         self.exec_upto = 0
         self.executed: List[Command] = []
+        self.applied: Set[Command] = set()
 
     # ------------------------------------------------------------------
     # Workload
@@ -123,7 +128,7 @@ class PaxosReplica(Service):
     @timer_handler("cpu-drain")
     def on_cpu_drain(self, payload) -> None:
         if self.cpu_queue:
-            command = tuple(self.cpu_queue.pop(0))
+            command = tuple(self.cpu_queue.popleft())
             self._coordinate(command)
         if self.cpu_queue:
             self.set_timer("cpu-drain", self.config.processing_delay(self.node_id))
@@ -153,8 +158,7 @@ class PaxosReplica(Service):
             "accepted_from": [],
             "started_at": self.now(),
         }
-        for peer in self._replicas():
-            self.send(peer, Accept(instance=instance, ballot=ballot, value=command))
+        self.broadcast(self._replicas(), Accept(instance=instance, ballot=ballot, value=command))
 
     def _escalate(self, instance: int, min_round: int) -> None:
         """Restart an instance with full two-phase Paxos at a higher round."""
@@ -174,16 +178,22 @@ class PaxosReplica(Service):
             started_at=self.now(),
             proposing=proposal["value"],
         )
-        for peer in self._replicas():
-            self.send(peer, Prepare(instance=instance, ballot=ballot))
+        self.broadcast(self._replicas(), Prepare(instance=instance, ballot=ballot))
+
+    def _retry_timeout(self) -> float:
+        """Effective retry timeout for stuck proposals.  Subclasses
+        expose pacing as a choice (handlers collect base-first, so the
+        sweep itself cannot be overridden — this hook can)."""
+        return self.config.retry_timeout
 
     @timer_handler("retry-sweep")
     def on_retry_sweep(self, payload) -> None:
         now = self.now()
         rng = self.rng("retry")
+        timeout = self._retry_timeout() if self.proposals else self.config.retry_timeout
         for instance in sorted(self.proposals):
             proposal = self.proposals[instance]
-            if now - proposal["started_at"] > self.config.retry_timeout:
+            if now - proposal["started_at"] > timeout:
                 # Randomized escalation breaks dueling-proposer
                 # symmetry: without it two contenders re-prepare in
                 # lock-step and livelock (the classic Paxos liveness
@@ -226,8 +236,10 @@ class PaxosReplica(Service):
             proposal["proposing"] = value
             proposal["phase"] = "accept"
             proposal["accepted_from"] = []
-            for peer in self._replicas():
-                self.send(peer, Accept(instance=msg.instance, ballot=msg.ballot, value=value))
+            self.broadcast(
+                self._replicas(),
+                Accept(instance=msg.instance, ballot=msg.ballot, value=value),
+            )
 
     @msg_handler(AcceptedMsg)
     def on_accepted(self, src: int, msg: AcceptedMsg) -> None:
@@ -238,14 +250,19 @@ class PaxosReplica(Service):
             return
         proposal["accepted_from"].append(src)
         if len(proposal["accepted_from"]) >= self.config.majority:
-            self._value_chosen(msg.instance, proposal["proposing"])
-            for peer in self._replicas():
-                self.send(peer, Learn(instance=msg.instance, value=proposal["proposing"]))
+            value = proposal["proposing"]
+            self._value_chosen(msg.instance, value)
+            self.broadcast(self._replicas(), Learn(instance=msg.instance, value=value))
 
     @msg_handler(Nack)
     def on_nack(self, src: int, msg: Nack) -> None:
         proposal = self.proposals.get(msg.instance)
         if proposal is None or proposal["ballot"] >= msg.promised:
+            return
+        if msg.ballot != NO_BALLOT and msg.ballot != proposal["ballot"]:
+            # Stale rejection of a ballot we already abandoned: a
+            # superseded round's Nack must not inflate min_round and
+            # force a needless multi-round escalation.
             return
         # Defer to the jittered retry sweep instead of escalating
         # immediately: eager re-preparation is what fuels the
@@ -253,17 +270,31 @@ class PaxosReplica(Service):
         proposal["min_round"] = max(
             proposal.get("min_round", 1), msg.promised // self.config.n + 1,
         )
+        self._on_preempted(msg.instance, msg.promised)
+
+    def _on_preempted(self, instance: int, promised: int) -> None:
+        """Hook: a live proposal of ours was rejected (subclass use)."""
 
     # ------------------------------------------------------------------
     # Acceptor
     # ------------------------------------------------------------------
 
+    def _promise_floor(self, instance: int) -> int:
+        """The lowest ballot this acceptor may still accept at
+        ``instance``.  Subclasses fold ranged promises in here."""
+        return self.promised.get(instance, NO_BALLOT)
+
+    def _observe_instance(self, instance: int) -> None:
+        """Hook: the instance space is occupied at least this far
+        (subclasses track ``max_inst`` for catch-up/advancement)."""
+
     @msg_handler(Prepare)
     def on_prepare(self, src: int, msg: Prepare) -> None:
+        self._observe_instance(msg.instance)
         if msg.instance in self.chosen:
             self.send(src, Learn(instance=msg.instance, value=self.chosen[msg.instance]))
             return
-        if msg.ballot > self.promised.get(msg.instance, NO_BALLOT):
+        if msg.ballot > self._promise_floor(msg.instance):
             self.promised[msg.instance] = msg.ballot
             accepted = self.accepted.get(msg.instance)
             self.send(
@@ -276,14 +307,19 @@ class PaxosReplica(Service):
                 ),
             )
         else:
-            self.send(src, Nack(instance=msg.instance, promised=self.promised[msg.instance]))
+            self.send(src, Nack(
+                instance=msg.instance,
+                promised=self._promise_floor(msg.instance),
+                ballot=msg.ballot,
+            ))
 
     @msg_handler(Accept)
     def on_accept(self, src: int, msg: Accept) -> None:
+        self._observe_instance(msg.instance)
         if msg.instance in self.chosen:
             self.send(src, Learn(instance=msg.instance, value=self.chosen[msg.instance]))
             return
-        if msg.ballot >= self.promised.get(msg.instance, NO_BALLOT):
+        if msg.ballot >= self._promise_floor(msg.instance):
             self.promised[msg.instance] = msg.ballot
             self.accepted[msg.instance] = [msg.ballot, list(msg.value)]
             self.send(
@@ -291,7 +327,11 @@ class PaxosReplica(Service):
                 AcceptedMsg(instance=msg.instance, ballot=msg.ballot, value=msg.value),
             )
         else:
-            self.send(src, Nack(instance=msg.instance, promised=self.promised[msg.instance]))
+            self.send(src, Nack(
+                instance=msg.instance,
+                promised=self._promise_floor(msg.instance),
+                ballot=msg.ballot,
+            ))
 
     # ------------------------------------------------------------------
     # Learner
@@ -301,24 +341,38 @@ class PaxosReplica(Service):
     def on_learn(self, src: int, msg: Learn) -> None:
         self._value_chosen(msg.instance, msg.value)
 
-    def _value_chosen(self, instance: int, value: Command) -> None:
+    def _value_chosen(self, instance: int, value) -> None:
         value = tuple(value)
+        self._observe_instance(instance)
         if instance not in self.chosen:
             self.chosen[instance] = value
             self.record("paxos.chosen", instance=instance)
         proposal = self.proposals.pop(instance, None)
         if proposal is not None and tuple(proposal["value"]) != value:
-            # Our command lost this instance to a recovered value:
-            # re-sequence it in a fresh self-owned slot.
-            self.propose(tuple(proposal["value"]))
-        if value in self.my_requests and value not in self.committed:
-            self.committed[value] = [self.my_requests[value], self.now()]
+            lost = tuple(proposal["value"])
+            if lost != NOOP:
+                # Our command lost this instance to a recovered value:
+                # re-sequence it in a fresh self-owned slot.  A lost
+                # NOOP is simply dropped — the slot it was meant to
+                # fill is decided, so re-proposing it would burn a
+                # fresh slot and trigger more gap-fill churn.
+                self._resequence(lost)
+        now = self.now()
+        for command in unpack_value(value):
+            if command in self.my_requests and command not in self.committed:
+                self.committed[command] = [self.my_requests[command], now]
         # Advance the executable prefix of the replicated log.
         while self.exec_upto in self.chosen:
             decided = tuple(self.chosen[self.exec_upto])
-            if decided != NOOP:
-                self.executed.append(decided)
+            for command in unpack_value(decided):
+                if command not in self.applied:
+                    self.applied.add(command)
+                    self.executed.append(command)
             self.exec_upto += 1
+
+    def _resequence(self, lost_value) -> None:
+        """Re-propose a non-NOOP value that lost its instance."""
+        self.propose(lost_value)
 
     # ------------------------------------------------------------------
     # Metrics
@@ -370,7 +424,11 @@ def make_paxos_factory(variant: str, config: Optional[PaxosConfig] = None, leade
         return lambda node_id: MenciusPaxos(node_id, cfg)
     if variant == "choice":
         return lambda node_id: ExposedPaxos(node_id, cfg)
-    raise ValueError(f"unknown variant {variant!r}; expected fixed/mencius/choice")
+    if variant == "batched":
+        from .batched import BatchedPaxosReplica  # avoid an import cycle
+
+        return lambda node_id: BatchedPaxosReplica(node_id, cfg)
+    raise ValueError(f"unknown variant {variant!r}; expected fixed/mencius/choice/batched")
 
 
 __all__ = [

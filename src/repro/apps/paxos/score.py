@@ -61,4 +61,65 @@ def make_proposer_resolver() -> GreedyResolver:
     return GreedyResolver(proposer_score)
 
 
-__all__ = ["predicted_commit_latency", "proposer_score", "make_proposer_resolver"]
+def make_throughput_resolver(topology, config) -> GreedyResolver:
+    """Steering for batched Multi-Paxos at high request rates.
+
+    Full consequence prediction is too expensive to run per-batch at
+    10^5-request scale, so this resolver steers from the deployment
+    model alone: topology round-trips and configured CPU loads,
+    precomputed once.  It scores the three choices the batched replica
+    exposes:
+
+    * ``batch-size`` — pull as much of the queue as fits, backing off
+      under observed conflict (big speculative batches lose whole
+      instances at a time when preempted);
+    * ``proposer`` — minimize forward latency plus the candidate's
+      pipeline-serialized CPU cost and per-slot accept round-trip
+      (routes a loaded or edge replica's batches through a cheap
+      proxy, the Section 3.1 example at batch granularity);
+    * ``retry-pacing`` — stretch the retry timeout in proportion to
+      observed conflict, de-synchronizing dueling proposers.
+    """
+    n = config.n
+    depth = max(config.pipeline_depth, 1)
+
+    def rtt(a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return topology.link(a, b).latency + topology.link(b, a).latency
+
+    majority_rtt = {}
+    needed = config.majority - 1  # the proposer itself accepts locally
+    for p in range(n):
+        rtts = sorted(rtt(p, peer) for peer in range(n) if peer != p)
+        majority_rtt[p] = rtts[needed - 1] if needed >= 1 and rtts else 0.0
+
+    def score(candidate: Any, point: ChoicePoint, node: Optional[Any]) -> float:
+        info = point.info
+        if point.label == "batch-size":
+            conflicts = float(info.get("conflicts", 0.0))
+            queue = max(int(info.get("queue", 0)), 1)
+            effective = queue / (1.0 + conflicts)
+            # Largest batch the queue can fill wins; the epsilon
+            # prefers the smallest sufficient candidate.
+            return min(candidate, effective) - 1e-3 * candidate
+        if point.label == "proposer":
+            origin = node.node_id if node is not None else int(info.get("origin", 0))
+            forward = rtt(origin, candidate)
+            return -(forward
+                     + config.processing_delay(candidate) * depth
+                     + majority_rtt[candidate] / depth)
+        if point.label == "retry-pacing":
+            conflicts = min(float(info.get("conflicts", 0.0)), 3.0)
+            return -abs(candidate - (1.0 + conflicts))
+        return 0.0
+
+    return GreedyResolver(score)
+
+
+__all__ = [
+    "predicted_commit_latency",
+    "proposer_score",
+    "make_proposer_resolver",
+    "make_throughput_resolver",
+]

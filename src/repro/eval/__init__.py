@@ -32,8 +32,11 @@ from .paxos_experiment import (
     DEFAULT_LOADS,
     PAXOS_VARIANTS,
     PaxosResult,
+    ThroughputResult,
     agreement_holds,
+    at_most_once_holds,
     run_paxos_experiment,
+    run_throughput_experiment,
     wan_topology,
 )
 from .trace_experiment import (
@@ -76,8 +79,11 @@ __all__ = [
     "DEFAULT_LOADS",
     "PAXOS_VARIANTS",
     "PaxosResult",
+    "ThroughputResult",
     "agreement_holds",
+    "at_most_once_holds",
     "run_paxos_experiment",
+    "run_throughput_experiment",
     "wan_topology",
     "TRACE_EXPERIMENTS",
     "TraceSession",

@@ -139,6 +139,155 @@ def run_paxos_experiment(
     )
 
 
+@dataclass
+class ThroughputResult:
+    """One batched Multi-Paxos run under load (and chaos)."""
+
+    steering: bool
+    seed: int
+    n: int
+    plan_name: str
+    horizon: float
+    offered: int
+    committed: int
+    client_committed: int
+    ops_per_sec: float
+    batches: int
+    mean_batch: float
+    agreement: bool
+    at_most_once: bool
+    probes: int
+    state_digest: str
+    chaos_stats: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def safe(self) -> bool:
+        """Agreement and at-most-once held at every probe and at the end."""
+        return self.agreement and self.at_most_once
+
+    def summary(self) -> str:
+        mode = "steer-on " if self.steering else "steer-off"
+        status = "SAFE" if self.safe else "VIOLATED"
+        return (
+            f"{mode}  seed={self.seed}  plan={self.plan_name:<14}"
+            f"committed={self.committed}/{self.offered}  "
+            f"{self.ops_per_sec:,.0f} ops/s  mean_batch={self.mean_batch:.1f}  {status}"
+        )
+
+
+def run_throughput_experiment(
+    steering: bool,
+    seed: int = 0,
+    total_requests: int = 100_000,
+    horizon: float = 60.0,
+    plan: Optional[Any] = None,
+    n: int = 5,
+    window: int = 4096,
+    burst: int = 512,
+    tick: float = 0.05,
+    probe_period: float = 5.0,
+    processing_delays: Optional[tuple] = DEFAULT_LOADS,
+    config: Optional[PaxosConfig] = None,
+) -> ThroughputResult:
+    """T1: committed-ops throughput of batched Multi-Paxos under load.
+
+    A :class:`~repro.apps.paxos.ClientLoad` generator offers
+    ``total_requests`` commands closed-loop over the reference WAN while
+    an A7 chaos plan (default: ``message-chaos``; amnesia is rejected,
+    as in :func:`~repro.eval.chaos_experiment.run_chaos_paxos_experiment`)
+    runs against the cluster.  ``steering=True`` resolves the exposed
+    batch-size / proposer / retry-pacing choices with the deployment-model
+    resolver; ``steering=False`` is the static default (first candidate:
+    batch size 1, local proposer) — the legacy unbatched behaviour.
+
+    Safety is probed every ``probe_period`` seconds *during* the run and
+    once at the end: cross-replica agreement and at-most-once execution
+    must hold throughout.  Tracing is disabled (10^5-request runs would
+    swamp it); reproducibility is asserted over ``state_digest``, a
+    digest of every replica's decided log and execution order.
+    """
+    from ..apps.paxos import ClientLoad, make_throughput_resolver
+    from ..chaos import ChaosController, CrashEvent
+    from ..statemachine.serialization import digest
+
+    if config is None:
+        config = PaxosConfig(
+            n=n, requests_per_node=0, processing_delays=processing_delays,
+        )
+    if plan is None:
+        from .chaos_experiment import standard_plans
+
+        plan = standard_plans(n, horizon, amnesia=False)[0]
+    for event in plan.events:
+        if isinstance(event, CrashEvent) and event.amnesia:
+            raise ValueError(
+                "amnesia crashes forfeit Paxos safety assumptions; "
+                f"use amnesia=False in {plan.name!r}"
+            )
+    topology = wan_topology(n)
+    factory = make_paxos_factory("batched", config)
+    resolver_factory = None
+    if steering:
+        resolver = make_throughput_resolver(topology, config)
+        resolver_factory = lambda node_id: resolver
+    cluster = Cluster(n, factory, topology=topology, seed=seed,
+                      resolver_factory=resolver_factory)
+    cluster.sim.trace.enabled = False
+    controller = ChaosController(cluster, plan)
+    controller.arm()
+    load = ClientLoad(cluster, total_requests, window=window, burst=burst, tick=tick)
+
+    safety = {"agreement": True, "at_most_once": True, "probes": 0}
+
+    def probe() -> None:
+        safety["probes"] += 1
+        safety["agreement"] = safety["agreement"] and agreement_holds(cluster)
+        safety["at_most_once"] = safety["at_most_once"] and at_most_once_holds(cluster)
+        if cluster.sim.now + probe_period <= horizon:
+            cluster.sim.schedule(probe_period, probe, tag="throughput.probe")
+
+    cluster.start_all()
+    load.arm()
+    cluster.sim.schedule(probe_period, probe, tag="throughput.probe")
+    cluster.run(until=horizon)
+
+    probe()  # final check at the horizon
+    from ..apps.paxos import NOOP, unpack_value
+
+    best = max(cluster.services, key=lambda s: len(s.executed))
+    committed = len(best.executed)
+    batch_sizes = [
+        len(unpack_value(value))
+        for value in best.chosen.values()
+        if tuple(value) != NOOP
+    ]
+    batches = sum(1 for b in batch_sizes if b > 0)
+    state_digest = digest({
+        s.node_id: {"chosen": s.chosen, "executed": s.executed}
+        for s in cluster.services
+    })
+    return ThroughputResult(
+        steering=steering,
+        seed=seed,
+        n=n,
+        plan_name=plan.name or "custom",
+        horizon=horizon,
+        offered=load.offered(),
+        committed=committed,
+        client_committed=sum(load.committed().values()),
+        ops_per_sec=committed / horizon if horizon > 0 else 0.0,
+        batches=batches,
+        mean_batch=(sum(batch_sizes) / batches) if batches else 0.0,
+        agreement=safety["agreement"],
+        at_most_once=safety["at_most_once"],
+        probes=safety["probes"],
+        state_digest=state_digest,
+        chaos_stats=controller.stats(),
+        metrics=collect_cluster_metrics(cluster),
+    )
+
+
 def agreement_holds(cluster: Cluster) -> bool:
     """Cross-replica agreement: no instance decided differently anywhere."""
     decided: Dict[int, tuple] = {}
@@ -150,5 +299,20 @@ def agreement_holds(cluster: Cluster) -> bool:
     return True
 
 
-__all__ = ["PAXOS_VARIANTS", "DEFAULT_LOADS", "PaxosResult", "wan_topology",
-           "run_paxos_experiment", "agreement_holds"]
+def at_most_once_holds(cluster: Cluster) -> bool:
+    """At-most-once execution: no replica applied a command twice.
+
+    A command can legitimately be *chosen* in two instances (recovery
+    re-proposes it while the original decision survives elsewhere), but
+    the replicated log must apply it exactly once — the dedup-on-apply
+    guarantee of ``PaxosReplica._value_chosen``.
+    """
+    for service in cluster.services:
+        if len(service.executed) != len(set(service.executed)):
+            return False
+    return True
+
+
+__all__ = ["PAXOS_VARIANTS", "DEFAULT_LOADS", "PaxosResult", "ThroughputResult",
+           "wan_topology", "run_paxos_experiment", "run_throughput_experiment",
+           "agreement_holds", "at_most_once_holds"]

@@ -38,7 +38,7 @@ from ..apps.randtree import RandTreeConfig, make_baseline_factory, randtree_prop
 from ..chaos import ChaosController, FaultPlan
 from ..chaos.plan import CrashEvent, LinkFaultEvent, PartitionEvent, plan_rng
 from ..eval.chaos_experiment import check_randtree_invariants, trace_digest
-from ..eval.paxos_experiment import agreement_holds, wan_topology
+from ..eval.paxos_experiment import agreement_holds, at_most_once_holds, wan_topology
 from ..mc import (
     ConsequencePredictor,
     Explorer,
@@ -272,18 +272,75 @@ class PaxosFuzzTarget(FuzzTarget):
                 budget=self.predict_budget,
             )
 
-        def live_check(world: WorldState) -> List[str]:
-            if not paxos_agreement(world):
-                return ["paxos-agreement: two replicas chose different values"]
-            return []
-
-        self._schedule_probes(cluster, predictor, result, live_check)
+        self._schedule_probes(cluster, predictor, result, self._live_violations)
         cluster.run(until=self.horizon)
-        if not agreement_holds(cluster):
-            result.violations.append(
-                "t=end: paxos-agreement: two replicas chose different values"
-            )
+        for violation in self._final_violations(cluster):
+            result.violations.append(f"t=end: {violation}")
         return self._finish(result, cluster, controller, keep_cluster)
+
+    def _live_violations(self, world: WorldState) -> List[str]:
+        if not paxos_agreement(world):
+            return ["paxos-agreement: two replicas chose different values"]
+        return []
+
+    def _final_violations(self, cluster: Cluster) -> List[str]:
+        if not agreement_holds(cluster):
+            return ["paxos-agreement: two replicas chose different values"]
+        return []
+
+
+def paxos_at_most_once(world: WorldState) -> bool:
+    """At-most-once execution over a world's replicated logs: no
+    replica's in-order execution sequence applies a command twice."""
+    for node_id in world.node_ids:
+        executed = [tuple(c) for c in world.state_of(node_id).get("executed", [])]
+        if len(executed) != len(set(executed)):
+            return False
+    return True
+
+
+class BatchedPaxosFuzzTarget(PaxosFuzzTarget):
+    """Batched Multi-Paxos over the same WAN, same adversary surface.
+
+    The batched replica adds attack surface the single-decree target
+    lacks: whole batches lose instances at a time (re-sequencing must
+    not duplicate or drop commands), ranged prepares can race point
+    escalations, and learner catch-up replays decided values into
+    recovering replicas.  The choice sets are kept small
+    (batch sizes 1/4, pipeline depth 2) so the prediction probes'
+    choose-branching stays within the exploration budget.
+    """
+
+    name = "paxos-batched"
+
+    def __init__(self) -> None:
+        self.config = PaxosConfig(
+            n=5, request_interval=0.4, requests_per_node=4,
+            batch_size_choices=(1, 4), pipeline_depth=2,
+            retry_pacing_choices=(1.0, 2.0),
+        )
+        self.factory = make_paxos_factory("batched", self.config)
+        self.properties = [
+            SafetyProperty("paxos-agreement", paxos_agreement),
+            SafetyProperty("paxos-at-most-once", paxos_at_most_once),
+            SafetyProperty("near:accepted-coherent", accepted_coherent),
+        ]
+
+    def _live_violations(self, world: WorldState) -> List[str]:
+        violations = super()._live_violations(world)
+        if not paxos_at_most_once(world):
+            violations.append(
+                "paxos-at-most-once: a replica applied a command twice"
+            )
+        return violations
+
+    def _final_violations(self, cluster: Cluster) -> List[str]:
+        violations = super()._final_violations(cluster)
+        if not at_most_once_holds(cluster):
+            violations.append(
+                "paxos-at-most-once: a replica applied a command twice"
+            )
+        return violations
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +461,7 @@ class RandTreeFuzzTarget(FuzzTarget):
 
 TARGETS: Dict[str, Callable[[], FuzzTarget]] = {
     "paxos": PaxosFuzzTarget,
+    "paxos-batched": BatchedPaxosFuzzTarget,
     "randtree": RandTreeFuzzTarget,
 }
 
@@ -419,6 +477,7 @@ def make_target(name: str) -> FuzzTarget:
 
 
 __all__ = [
+    "BatchedPaxosFuzzTarget",
     "ExecutionResult",
     "FuzzTarget",
     "PaxosFuzzTarget",
@@ -427,4 +486,5 @@ __all__ = [
     "accepted_coherent",
     "make_target",
     "paxos_agreement",
+    "paxos_at_most_once",
 ]

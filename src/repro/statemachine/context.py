@@ -59,6 +59,12 @@ class Context:
     def send(self, dst: int, msg: Any) -> None:
         raise NotImplementedError
 
+    def broadcast(self, dsts, msg: Any) -> None:
+        """Send ``msg`` to each destination; contexts with a batched
+        fast path override this, others get the equivalent loop."""
+        for dst in dsts:
+            self.send(dst, msg)
+
     def set_timer(self, name: str, delay: float, payload: Any = None) -> None:
         raise NotImplementedError
 
@@ -91,6 +97,9 @@ class LiveContext(Context):
 
     def send(self, dst: int, msg: Any) -> None:
         self.node.send_out(dst, msg)
+
+    def broadcast(self, dsts, msg: Any) -> None:
+        self.node.broadcast_out(dsts, msg)
 
     def set_timer(self, name: str, delay: float, payload: Any = None) -> None:
         self.node.set_timer(name, delay, payload)

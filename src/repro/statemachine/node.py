@@ -197,6 +197,43 @@ class Node:
         size = msg.wire_size() if hasattr(msg, "wire_size") else 1024
         return self.network.send(self.node_id, dst, msg, size_bytes=size)
 
+    def broadcast_out(self, dsts, msg: Any) -> List[bool]:
+        """Batched outbound fan-out of one message to many peers.
+
+        Interposers run per destination (a chaos interposer may pass
+        some peers and filter others); the surviving destinations go
+        through the transport's ``send_many`` fast path when the
+        attached transport has one, else an equivalent send loop.
+        """
+        results: List[bool] = []
+        passed: List[int] = []
+        for dst in dsts:
+            ok = True
+            for interposer in self.outbound_interposers:
+                if not interposer.on_outbound(self, dst, msg):
+                    self.sim.trace.record(
+                        self.sim.now, "node.filtered_out", node=self.node_id,
+                        dst=dst, msg=type(msg).__name__,
+                    )
+                    ok = False
+                    break
+            results.append(ok)
+            if ok:
+                passed.append(dst)
+        if not passed:
+            return results
+        size = msg.wire_size() if hasattr(msg, "wire_size") else 1024
+        send_many = getattr(self.network, "send_many", None)
+        if send_many is not None:
+            accepted = send_many(self.node_id, passed, msg, size_bytes=size)
+        else:
+            accepted = [
+                self.network.send(self.node_id, dst, msg, size_bytes=size)
+                for dst in passed
+            ]
+        it = iter(accepted)
+        return [bool(flag and next(it)) for flag in results]
+
     def _on_message(self, src: int, dst: int, payload: Any) -> None:
         if not self.is_up:
             return

@@ -6,15 +6,18 @@ has already visited, so :func:`freeze` converts any plain-data value to
 a canonical hashable form and :func:`digest` produces a stable hash.
 
 Plain data means: ``None``, ``bool``, ``int``, ``float``, ``str``,
-``bytes``, and ``dict``/``list``/``tuple``/``set``/``frozenset`` of
-plain data, plus dataclass instances whose fields are plain data
-(covers wire messages).
+``bytes``, and ``dict``/``list``/``tuple``/``set``/``frozenset``/
+``collections.deque`` of plain data, plus dataclass instances whose
+fields are plain data (covers wire messages).  Deques round-trip as
+deques (and freeze with their own tag) so queue-shaped service state
+survives checkpoint/restore with its type intact.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+from collections import deque
 from typing import Any, Dict, Hashable
 
 _SCALARS = (type(None), bool, int, float, str, bytes)
@@ -37,6 +40,8 @@ def snapshot_value(value: Any) -> Any:
         return {snapshot_value(k): snapshot_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [snapshot_value(v) for v in value]
+    if isinstance(value, deque):
+        return deque(snapshot_value(v) for v in value)
     if isinstance(value, tuple):
         return tuple(snapshot_value(v) for v in value)
     if isinstance(value, (set, frozenset)):
@@ -67,6 +72,8 @@ def freeze(value: Any) -> Hashable:
         return ("__dict__", items)
     if isinstance(value, list):
         return ("__list__", tuple(freeze(v) for v in value))
+    if isinstance(value, deque):
+        return ("__deque__", tuple(freeze(v) for v in value))
     if isinstance(value, tuple):
         return ("__tuple__", tuple(freeze(v) for v in value))
     if isinstance(value, (set, frozenset)):

@@ -60,6 +60,16 @@ class Service:
         """Send ``msg`` to node ``dst``."""
         self.ctx.send(dst, msg)
 
+    def broadcast(self, dsts: Sequence[int], msg: Any) -> None:
+        """Send the same ``msg`` to every node in ``dsts``.
+
+        Behaviourally identical to a per-destination ``send`` loop; on a
+        live node the fan-out goes through the transport's batched
+        ``send_many`` fast path (one queue insertion per distinct
+        arrival time instead of one per destination).
+        """
+        self.ctx.broadcast(dsts, msg)
+
     def set_timer(self, name: str, delay: float, payload: Any = None) -> None:
         """(Re)arm the named timer ``delay`` seconds from now."""
         self.ctx.set_timer(name, delay, payload)
