@@ -429,6 +429,17 @@ def _view_cluster(n: int, seed: int = 2, rumor_count: int = 2) -> Cluster:
 
 
 def test_s1_world_size_curve():
+    # REPRO_BENCH_STREAM=path streams the sweep live: one shared
+    # RunStream across all world sizes, per-second sampler curves per
+    # size plus an ``s1.world`` event as each data point lands — the
+    # long 1k/4k builds stop being a silent 25 s gap.
+    stream_path = os.environ.get("REPRO_BENCH_STREAM")
+    run_stream = None
+    if stream_path:
+        from repro.obs import RunStream
+
+        run_stream = RunStream(stream_path, kind="s1",
+                               config={"sizes": list(CURVE_SIZES)})
     rows = []
     curve = {}
     for n in CURVE_SIZES:
@@ -440,6 +451,16 @@ def test_s1_world_size_curve():
         tracemalloc.stop()
         per_node_kib = (after - before) / n / 1024.0
 
+        if run_stream is not None:
+            from repro.obs import TelemetrySampler
+
+            sampler = TelemetrySampler(cluster.sim, cadence=1.0,
+                                       stream=run_stream)
+            sampler.watch(f"n{n}.events",
+                          lambda: cluster.sim.events_dispatched)
+            sampler.watch(f"n{n}.messages",
+                          lambda: cluster.network.messages_sent)
+            sampler.start(until=5.0)
         start = time.perf_counter()
         dispatched = cluster.run(until=5.0)
         wall = time.perf_counter() - start
@@ -452,9 +473,15 @@ def test_s1_world_size_curve():
             "events_per_sec": round(events_per_sec),
             "per_node_kib": round(per_node_kib, 1),
         }
+        if run_stream is not None:
+            run_stream.write_event(
+                "s1.world", t=float(n), nodes=n, **curve[str(n)],
+            )
         # The overlay itself must be healthy at every size.
         assert all(svc.active for svc in cluster.services)
 
+    if run_stream is not None:
+        run_stream.write_summary(t=float(CURVE_SIZES[-1]), curve=curve)
     print_table(
         "S1: world-size scaling (ViewGossip over grouped transit-stub)",
         ("nodes", "events", "wall s", "events/sec", "KiB/node"),

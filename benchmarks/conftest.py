@@ -45,6 +45,7 @@ KNOWN_BENCH_IDS: Dict[str, str] = {
     "A7": "safety under chaos",
     "O1": "observability overhead",
     "O2": "causal tracing overhead",
+    "O3": "streaming telemetry overhead (sampler + RunStream)",
     "P1": "prediction hot path (digests, pooling, parallelism)",
     "P2": "cross-round incremental prediction + delta checkpoints",
     "R1": "adversarial scenario search (fuzz vs random)",

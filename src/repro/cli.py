@@ -20,6 +20,9 @@ Usage::
     python -m repro.cli fuzz paxos --seed 1 --budget 2000 --steering off \\
         --out examples/corpus
     python -m repro.cli fuzz --replay examples/corpus
+    python -m repro.cli t1 --quick --stream RUN_STREAM.jsonl
+    python -m repro.cli tail RUN_STREAM.jsonl --follow
+    python -m repro.cli top RUN_STREAM.jsonl
 
 Each experiment id matches DESIGN.md's index and the corresponding
 ``benchmarks/bench_e*.py``; the CLI is the quick interactive way to
@@ -308,6 +311,7 @@ def _cmd_fuzz(args) -> int:
     campaign = FuzzCampaign(
         target, seed=args.seed, budget=args.budget, mode=args.mode,
         steering=args.steering == "on", stop_after=args.stop_after,
+        stream=args.stream, progress_every=args.progress_every,
     )
     result = campaign.run()
     print(_json.dumps(result.summary(), sort_keys=True))
@@ -347,6 +351,142 @@ def _cmd_fuzz(args) -> int:
         )
         print(f"wrote {path}")
     return 0
+
+
+def _format_record(record: dict) -> str:
+    """One human-readable line per stream record."""
+    rtype = record.get("type")
+    t = record.get("t", 0.0)
+    if rtype == "header":
+        config = " ".join(f"{k}={v}" for k, v in
+                          sorted((record.get("config") or {}).items()))
+        return (f"# {record.get('kind')} run {record.get('run')} "
+                f"(stream v{record.get('version')})  {config}".rstrip())
+    if rtype == "sample":
+        values = " ".join(f"{k}={_short_num(v)}" for k, v in
+                          sorted((record.get("v") or {}).items()))
+        return f"[{t:10.2f}s] {values}"
+    if rtype == "event":
+        data = " ".join(f"{k}={v}" for k, v in
+                        sorted((record.get("data") or {}).items()))
+        return f"[{t:10.2f}s] event {record.get('event')}  {data}".rstrip()
+    data = " ".join(f"{k}={v}" for k, v in
+                    sorted((record.get("data") or {}).items()))
+    return f"== summary [{t:.2f}s] {data}".rstrip()
+
+
+def _short_num(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _cmd_tail(args) -> int:
+    import json as _json
+    import os
+
+    from .obs.stream import follow_stream, read_stream
+
+    if not args.follow and not os.path.exists(args.path):
+        print(f"no stream at {args.path}", file=sys.stderr)
+        return 2
+    if args.follow:
+        records = follow_stream(args.path, timeout=args.timeout)
+    else:
+        records = iter(read_stream(args.path))
+    count = 0
+    for record in records:
+        if args.json:
+            print(_json.dumps(record, sort_keys=True), flush=True)
+        else:
+            print(_format_record(record), flush=True)
+        count += 1
+    if count == 0:
+        print("stream is empty", file=sys.stderr)
+        return 1
+    return 0
+
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(points, width: int = 40) -> str:
+    """Fixed-width unicode sparkline over (t, value) points."""
+    values = [v for _, v in points]
+    if len(values) > width:
+        # Downsample evenly to the display width.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(values)
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((v - lo) / span * len(SPARK_CHARS)))]
+        for v in values
+    )
+
+
+def _cmd_top(args) -> int:
+    import os
+
+    from .obs.stream import read_stream, stream_series
+
+    if not os.path.exists(args.path):
+        print(f"no stream at {args.path}", file=sys.stderr)
+        return 2
+    records = read_stream(args.path)
+    if not records:
+        print("stream is empty", file=sys.stderr)
+        return 1
+    header = records[0] if records[0].get("type") == "header" else {}
+    series = stream_series(records)
+    events = [r for r in records if r.get("type") == "event"]
+    summary = next((r for r in records if r.get("type") == "summary"), None)
+    samples = sum(1 for r in records if r.get("type") == "sample")
+    status = "finished" if summary is not None else "RUNNING"
+    last_t = records[-1].get("t", 0.0)
+
+    print(f"run {header.get('run', '?')}  kind={header.get('kind', '?')}  "
+          f"{status}  t={last_t:.2f}s  samples={samples}  events={len(events)}")
+    config = header.get("config") or {}
+    if config:
+        print("  " + " ".join(f"{k}={v}" for k, v in sorted(config.items())))
+    print()
+    width = max((len(name) for name in series), default=0)
+    for name in sorted(series):
+        points = series[name]
+        last = points[-1][1]
+        print(f"{name:<{width}}  {_sparkline(points)}  {_short_num(last)}")
+    if events:
+        print()
+        print("recent events:")
+        for record in events[-args.events:]:
+            print(f"  {_format_record(record)}")
+    if summary is not None:
+        print()
+        print(_format_record(summary))
+    return 0
+
+
+def _cmd_t1(args) -> int:
+    from .eval import run_throughput_experiment
+
+    total = 4_000 if args.quick else args.requests
+    horizon = 15.0 if args.quick else args.horizon
+    result = run_throughput_experiment(
+        steering=args.steering == "on",
+        seed=args.seed,
+        total_requests=total,
+        horizon=horizon,
+        stream=args.stream,
+        telemetry_cadence=args.cadence,
+    )
+    print(result.summary())
+    if args.stream:
+        print(f"stream: {args.stream}")
+    return 0 if result.safe else 1
 
 
 def _render_explanation(explanation, fmt: str) -> str:
@@ -489,6 +629,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replay", default=None, metavar="PATH",
                    help="replay one artifact file (or every artifact in a "
                         "directory) instead of fuzzing")
+    p.add_argument("--stream", default=None, metavar="PATH",
+                   help="write live fuzz.progress events to this RunStream "
+                        "JSONL file (tail it with `cli tail PATH --follow`)")
+    p.add_argument("--progress-every", type=int, default=25, metavar="N",
+                   help="emit a fuzz.progress event every N executions "
+                        "(default: 25)")
+    p = sub.add_parser(
+        "t1",
+        help="batched Multi-Paxos throughput run (streamable via --stream)",
+    )
+    p.add_argument("--steering", choices=("on", "off"), default="on")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--requests", type=int, default=100_000,
+                   help="total offered requests (default: 100000)")
+    p.add_argument("--horizon", type=float, default=60.0,
+                   help="simulated horizon in seconds (default: 60)")
+    p.add_argument("--quick", action="store_true",
+                   help="the bench quick workload: 4000 requests, 15 s")
+    p.add_argument("--stream", default=None, metavar="PATH",
+                   help="write a live RunStream JSONL here while running")
+    p.add_argument("--cadence", type=float, default=1.0,
+                   help="telemetry sampling cadence in sim seconds")
+    p = sub.add_parser(
+        "tail",
+        help="print a RunStream JSONL file, optionally following it live",
+    )
+    p.add_argument("path", help="stream file written via an experiment's "
+                                "stream= option (or cli t1/fuzz --stream)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep reading as the writer appends (stops at the "
+                        "summary record or --timeout)")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON records instead of formatted lines")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="with --follow: give up after this many host seconds")
+    p = sub.add_parser(
+        "top",
+        help="single-screen view of a run stream: sparklines per series",
+    )
+    p.add_argument("path", help="stream file to summarize")
+    p.add_argument("--events", type=int, default=5,
+                   help="how many recent events to show (default: 5)")
     p = sub.add_parser("a7", help=EXPERIMENTS["a7"])
     add_common(p)
     p.add_argument("--nodes", type=int, default=15)
@@ -516,6 +698,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
+        "t1": _cmd_t1,
+        "tail": _cmd_tail,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

@@ -189,6 +189,9 @@ def run_throughput_experiment(
     probe_period: float = 5.0,
     processing_delays: Optional[tuple] = DEFAULT_LOADS,
     config: Optional[PaxosConfig] = None,
+    stream: Optional[Any] = None,
+    telemetry: bool = False,
+    telemetry_cadence: float = 1.0,
 ) -> ThroughputResult:
     """T1: committed-ops throughput of batched Multi-Paxos under load.
 
@@ -206,9 +209,23 @@ def run_throughput_experiment(
     must hold throughout.  Tracing is disabled (10^5-request runs would
     swamp it); reproducibility is asserted over ``state_digest``, a
     digest of every replica's decided log and execution order.
+
+    ``stream=`` (a path or an open :class:`~repro.obs.RunStream`) makes
+    the run observable *while executing*: a
+    :class:`~repro.obs.TelemetrySampler` emits per-second offered /
+    committed / conflict curves as ``sample`` records, every safety
+    probe and chaos burst boundary as ``event`` records, and the
+    headline result as the final ``summary`` (tail it live with
+    ``python -m repro.cli tail <path> --follow``).  ``telemetry=True``
+    keeps the sampled series in-memory only (returned under
+    ``metrics["telemetry"]``).  Sampling is digest-neutral: the sampler
+    rides the event queue on its own tag, reads state without touching
+    it, and draws no RNG, so ``state_digest`` is byte-identical with
+    streaming on or off (``benchmarks/bench_o3_stream.py`` asserts it).
     """
     from ..apps.paxos import ClientLoad, make_throughput_resolver
     from ..chaos import ChaosController, CrashEvent
+    from ..obs import TelemetrySampler, as_stream
     from ..statemachine.serialization import digest
 
     if config is None:
@@ -238,18 +255,62 @@ def run_throughput_experiment(
     controller.arm()
     load = ClientLoad(cluster, total_requests, window=window, burst=burst, tick=tick)
 
+    run_stream = as_stream(
+        stream, kind="t1", clock=lambda: cluster.sim.now,
+        config={
+            "steering": steering, "seed": seed, "n": n,
+            "total_requests": total_requests, "horizon": horizon,
+            "plan": plan.name or "custom", "cadence": telemetry_cadence,
+        },
+    )
+    # A caller-owned RunStream (e.g. a sweep sharing one file across
+    # runs) keeps its lifecycle: we emit events but not the summary.
+    owns_stream = run_stream is not None and run_stream is not stream
+    sampler: Optional[TelemetrySampler] = None
+    if run_stream is not None or telemetry:
+        sampler = TelemetrySampler(
+            cluster.sim, cadence=telemetry_cadence, stream=run_stream,
+        )
+        sampler.watch("ops.offered", load.offered, agg="last")
+        sampler.watch(
+            "ops.committed",
+            lambda: max(len(s.executed) for s in cluster.services), agg="last",
+        )
+        sampler.watch(
+            "ops.client_committed",
+            lambda: sum(load.committed().values()), agg="last",
+        )
+        sampler.watch(
+            "paxos.conflicts",
+            lambda: round(sum(s.recent_conflicts for s in cluster.services), 4),
+            agg="mean",
+        )
+        sampler.watch(
+            "net.messages_sent", lambda: cluster.network.messages_sent, agg="last",
+        )
+
     safety = {"agreement": True, "at_most_once": True, "probes": 0}
 
     def probe() -> None:
         safety["probes"] += 1
-        safety["agreement"] = safety["agreement"] and agreement_holds(cluster)
-        safety["at_most_once"] = safety["at_most_once"] and at_most_once_holds(cluster)
+        agreement = agreement_holds(cluster)
+        at_most_once = at_most_once_holds(cluster)
+        safety["agreement"] = safety["agreement"] and agreement
+        safety["at_most_once"] = safety["at_most_once"] and at_most_once
+        if run_stream is not None:
+            run_stream.write_event(
+                "safety.probe", t=cluster.sim.now,
+                probe=safety["probes"], agreement=agreement,
+                at_most_once=at_most_once,
+            )
         if cluster.sim.now + probe_period <= horizon:
             cluster.sim.schedule(probe_period, probe, tag="throughput.probe")
 
     cluster.start_all()
     load.arm()
     cluster.sim.schedule(probe_period, probe, tag="throughput.probe")
+    if sampler is not None:
+        sampler.start(until=horizon)
     cluster.run(until=horizon)
 
     probe()  # final check at the horizon
@@ -267,6 +328,22 @@ def run_throughput_experiment(
         s.node_id: {"chosen": s.chosen, "executed": s.executed}
         for s in cluster.services
     })
+    metrics = collect_cluster_metrics(cluster)
+    if sampler is not None:
+        sampler.stop()
+        metrics["telemetry"] = sampler.snapshot()
+    if run_stream is not None:
+        summary_data = dict(
+            steering=steering, seed=seed, plan=plan.name or "custom",
+            offered=load.offered(), committed=committed,
+            ops_per_sec=round(committed / horizon, 3) if horizon > 0 else 0.0,
+            agreement=safety["agreement"], at_most_once=safety["at_most_once"],
+            probes=safety["probes"], state_digest=state_digest,
+        )
+        if owns_stream:
+            run_stream.write_summary(t=cluster.sim.now, **summary_data)
+        else:
+            run_stream.write_event("t1.done", t=cluster.sim.now, **summary_data)
     return ThroughputResult(
         steering=steering,
         seed=seed,
@@ -284,7 +361,7 @@ def run_throughput_experiment(
         probes=safety["probes"],
         state_digest=state_digest,
         chaos_stats=controller.stats(),
-        metrics=collect_cluster_metrics(cluster),
+        metrics=metrics,
     )
 
 

@@ -128,6 +128,8 @@ class FuzzCampaign:
         steering: bool = False,
         probes: bool = True,
         stop_after: Optional[int] = None,
+        stream: Optional[Any] = None,
+        progress_every: int = 25,
     ) -> None:
         if mode not in ("guided", "random"):
             raise ValueError(f"unknown campaign mode {mode!r}")
@@ -140,6 +142,14 @@ class FuzzCampaign:
         # testing, and prediction passes would only slow it down.
         self.probes = probes and mode == "guided"
         self.stop_after = stop_after
+        # Live progress: a RunStream (or path) receiving one
+        # ``fuzz.progress`` event every ``progress_every`` executions —
+        # a campaign has no simulated clock, so the execution count is
+        # the stream's ``t`` axis.  Observation only: the campaign's
+        # RNG streams and corpus decisions never see the stream, so
+        # results stay byte-reproducible from (target, seed, budget).
+        self.stream = stream
+        self.progress_every = max(1, progress_every)
         self.rng = RngRegistry(derive_seed(seed, f"fuzz.{target.name}"))
         self.coverage = CoverageMap()
 
@@ -147,12 +157,21 @@ class FuzzCampaign:
 
     def run(self) -> CampaignResult:
         """Spend the execution budget; return the campaign record."""
+        from ..obs.stream import as_stream
+
         result = CampaignResult(target=self.target.name, seed=self.seed,
                                 budget=self.budget, mode=self.mode)
         mutate_rng = self.rng.stream("fuzz.mutate")
         schedule_rng = self.rng.stream("fuzz.schedule")
         seed_rng = self.rng.stream("fuzz.exec-seed")
         surface_rng = self.rng.stream("fuzz.surface")
+        run_stream = as_stream(
+            self.stream, kind="fuzz",
+            config={"target": self.target.name, "seed": self.seed,
+                    "budget": self.budget, "mode": self.mode},
+        )
+        owns_stream = run_stream is not None and run_stream is not self.stream
+        best_score = 0.0
 
         while result.executions < self.budget:
             plan = self._next_plan(result, mutate_rng, schedule_rng, surface_rng)
@@ -164,12 +183,36 @@ class FuzzCampaign:
                 plan, exec_seed, probes=self.probes, steering=self.steering,
             )
             result.executions += 1
+            if execution.score > best_score:
+                best_score = execution.score
             self._record(result, plan, exec_seed, execution)
+            if run_stream is not None \
+                    and result.executions % self.progress_every == 0:
+                self._emit_progress(run_stream, result, best_score)
             if self.stop_after is not None \
                     and len(result.counterexamples) >= self.stop_after:
                 break
         result.coverage = self.coverage.snapshot()
+        if run_stream is not None:
+            self._emit_progress(run_stream, result, best_score)
+            if owns_stream:
+                run_stream.write_summary(
+                    t=float(result.executions), **result.summary(),
+                )
         return result
+
+    def _emit_progress(self, run_stream, result: CampaignResult,
+                       best_score: float) -> None:
+        """One ``fuzz.progress`` event: where the campaign stands."""
+        run_stream.write_event(
+            "fuzz.progress", t=float(result.executions),
+            executions=result.executions,
+            corpus_size=len(result.corpus),
+            coverage_bits=self.coverage.snapshot().get("features", 0),
+            violations=len(result.counterexamples),
+            best_score=round(best_score, 6),
+            duplicates_skipped=result.duplicate_plans_skipped,
+        )
 
     # ------------------------------------------------------------------
 

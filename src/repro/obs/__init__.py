@@ -16,7 +16,15 @@
 * :mod:`repro.obs.causal` / :mod:`repro.obs.forensics` — opt-in causal
   tracing (trace ids, Lamport/vector clocks, happens-before graphs) and
   the forensics engine that turns stamped traces into minimal causal
-  explanations of steering decisions (``python -m repro.cli trace``).
+  explanations of steering decisions (``python -m repro.cli trace``);
+* :mod:`repro.obs.timeseries` / :mod:`repro.obs.stream` — streaming
+  telemetry: :class:`~repro.obs.timeseries.TelemetrySampler` reads
+  instruments on a sim-time cadence into bounded downsampling
+  :class:`~repro.obs.timeseries.Series` rings, a
+  :class:`~repro.obs.stream.RunStream` JSONL file exposes an in-flight
+  run to concurrent tails (``python -m repro.cli tail`` / ``top``), and
+  a :class:`~repro.obs.timeseries.FlightRecorder` keeps the last N
+  seconds for crash postmortems.
 
 A process-wide default registry is available through :func:`registry`
 for ad-hoc instrumentation; components default to private registries so
@@ -49,6 +57,18 @@ from .registry import (
 )
 from .report import RunReport, collect_cluster_metrics, node_metrics, run_report
 from .spans import NULL_SPAN, Span, SpanStats
+from .stream import (
+    RECORD_TYPES,
+    STREAM_VERSION,
+    RunStream,
+    StreamError,
+    as_stream,
+    follow_stream,
+    parse_record,
+    read_stream,
+    stream_series,
+)
+from .timeseries import FlightRecorder, Series, TelemetrySampler
 
 _GLOBAL_REGISTRY = MetricsRegistry()
 
@@ -94,4 +114,16 @@ __all__ = [
     "explain_filter",
     "explain_steering",
     "explain_violation",
+    "RunStream",
+    "StreamError",
+    "STREAM_VERSION",
+    "RECORD_TYPES",
+    "as_stream",
+    "follow_stream",
+    "parse_record",
+    "read_stream",
+    "stream_series",
+    "Series",
+    "TelemetrySampler",
+    "FlightRecorder",
 ]

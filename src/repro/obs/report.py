@@ -65,6 +65,8 @@ def node_metrics(node) -> Dict[str, Any]:
         section["spans"] = snapshot["spans"]
     if snapshot["gauges"]:
         section["gauges"] = snapshot["gauges"]
+    if snapshot["histograms"]:
+        section["histograms"] = snapshot["histograms"]
     summary = getattr(runtime, "last_prediction_summary", None)
     if summary is not None:
         section["prediction"] = dict(summary)

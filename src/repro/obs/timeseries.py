@@ -1,0 +1,343 @@
+"""Time-series telemetry: cadenced sampling of registry instruments.
+
+The :class:`~repro.obs.registry.MetricsRegistry` holds *cumulative*
+instruments — a 60-second throughput run ends with one committed-ops
+total and no idea whether commits flowed steadily or stalled for 40
+seconds under a partition.  A :class:`TelemetrySampler` closes that gap:
+it reads selected instruments (or arbitrary probe callables) on a fixed
+*simulated-time* cadence, keeps each as a bounded in-memory
+:class:`Series` ring with automatic downsampling, and optionally
+forwards every tick to a :class:`~repro.obs.stream.RunStream` for live
+tailing and to a :class:`FlightRecorder` for postmortems.
+
+Digest neutrality is the design constraint everything here obeys:
+
+* sampler ticks ride the simulator's event queue on a dedicated
+  ``telemetry.sample`` tag, draw **no** RNG, and never mutate service,
+  network, or runtime state — the application event sequence is
+  byte-identical with sampling on or off;
+* nothing is appended to the trace log, so trace digests cannot move;
+* host-time correlation (like spans) lives only in stream records,
+  outside every digest.
+
+``benchmarks/bench_o3_stream.py`` holds the receipts: <5% wall-time
+overhead on the T1 quick workload with identical trace and decided-log
+digests either way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .registry import Gauge, Histogram, MetricsRegistry, render_key
+
+
+class Series:
+    """A bounded time-series ring with automatic downsampling.
+
+    Points are ``(t, value)`` pairs appended in time order.  Once
+    ``max_points`` is reached the series halves its resolution: adjacent
+    pairs merge (per the aggregation policy) and the sampling ``stride``
+    doubles, so a fixed memory budget covers an arbitrarily long run at
+    progressively coarser grain — the classic downsampling ring.
+
+    Aggregations: ``last`` (right for cumulative counters), ``mean``
+    (gauges), ``max`` / ``min`` / ``sum`` (rates and peaks).
+    """
+
+    AGGREGATIONS = ("last", "mean", "max", "min", "sum")
+
+    __slots__ = ("name", "max_points", "agg", "stride", "_points", "_bucket")
+
+    def __init__(self, name: str, max_points: int = 512, agg: str = "last") -> None:
+        if max_points < 4:
+            raise ValueError(f"max_points must be >= 4, got {max_points}")
+        if agg not in self.AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {agg!r}; expected one of "
+                             f"{self.AGGREGATIONS}")
+        self.name = name
+        self.max_points = max_points
+        self.agg = agg
+        self.stride = 1
+        self._points: List[Tuple[float, float]] = []
+        self._bucket: List[Tuple[float, float]] = []
+
+    def _fold(self, bucket: List[Tuple[float, float]]) -> Tuple[float, float]:
+        t = bucket[-1][0]
+        values = [v for _, v in bucket]
+        if self.agg == "last":
+            return t, values[-1]
+        if self.agg == "mean":
+            return t, sum(values) / len(values)
+        if self.agg == "max":
+            return t, max(values)
+        if self.agg == "min":
+            return t, min(values)
+        return t, sum(values)
+
+    def append(self, t: float, value: float) -> None:
+        self._bucket.append((t, value))
+        if len(self._bucket) < self.stride:
+            return
+        self._points.append(self._fold(self._bucket))
+        self._bucket = []
+        if len(self._points) >= self.max_points:
+            # Halve resolution: merge adjacent pairs, double the stride.
+            merged = [
+                self._fold(self._points[i:i + 2])
+                for i in range(0, len(self._points), 2)
+            ]
+            self._points = merged
+            self.stride *= 2
+
+    def points(self) -> List[Tuple[float, float]]:
+        """All retained points (including a partially-filled bucket)."""
+        if self._bucket:
+            return self._points + [self._fold(self._bucket)]
+        return list(self._points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        pts = self.points()
+        return pts[-1] if pts else None
+
+    def __len__(self) -> int:
+        return len(self._points) + (1 if self._bucket else 0)
+
+    def __repr__(self) -> str:
+        return (f"Series({self.name!r}, points={len(self)}, "
+                f"stride={self.stride}, agg={self.agg!r})")
+
+
+class TelemetrySampler:
+    """Cadenced sampling of instruments over a simulator's virtual clock.
+
+    Probes are zero-argument callables registered under a series name;
+    convenience registrars wrap registry instruments.  :meth:`start`
+    schedules the first tick; every tick reads all probes once, appends
+    to the in-memory series, and forwards one consolidated reading to
+    the attached stream and flight recorder.
+
+    ``until`` bounds rescheduling so a sampler never keeps an otherwise
+    drained event queue alive past the experiment horizon.
+    """
+
+    TAG = "telemetry.sample"
+
+    def __init__(
+        self,
+        sim: Any,
+        cadence: float = 1.0,
+        stream: Optional[Any] = None,
+        recorder: Optional["FlightRecorder"] = None,
+        max_points: int = 512,
+    ) -> None:
+        if cadence <= 0:
+            raise ValueError(f"cadence must be positive, got {cadence!r}")
+        self.sim = sim
+        self.cadence = cadence
+        self.stream = stream
+        self.recorder = recorder
+        self.max_points = max_points
+        self.series: Dict[str, Series] = {}
+        self._probes: List[Tuple[str, Callable[[], float]]] = []
+        self.samples_taken = 0
+        self._running = False
+        self._until: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Probe registration
+    # ------------------------------------------------------------------
+
+    def watch(self, name: str, probe: Callable[[], float], agg: str = "last") -> Series:
+        """Register a probe callable under ``name``; returns its series."""
+        if name in self.series:
+            raise ValueError(f"series {name!r} already registered")
+        series = Series(name, max_points=self.max_points, agg=agg)
+        self.series[name] = series
+        self._probes.append((name, probe))
+        return series
+
+    def watch_counter(self, counter: Any) -> Series:
+        """Sample a registry counter's cumulative value."""
+        return self.watch(render_key(counter.name, counter.labels),
+                          lambda: counter.value, agg="last")
+
+    def watch_gauge(self, gauge: Gauge) -> Series:
+        """Sample a gauge (mean-aggregated when downsampled)."""
+        return self.watch(render_key(gauge.name, gauge.labels),
+                          lambda: gauge.value, agg="mean")
+
+    def watch_histogram(self, hist: Histogram) -> List[Series]:
+        """Sample a histogram's count and streaming p95."""
+        key = render_key(hist.name, hist.labels)
+        return [
+            self.watch(f"{key}.count", lambda: hist.count, agg="last"),
+            self.watch(f"{key}.p95",
+                       lambda: hist.quantile(0.95) or 0.0, agg="mean"),
+        ]
+
+    def watch_registry(self, registry: MetricsRegistry, prefix: str = "") -> int:
+        """Watch every *current* counter and gauge matching ``prefix``;
+        returns how many series were registered."""
+        added = 0
+        for counter in registry._counters.values():
+            key = render_key(counter.name, counter.labels)
+            if key.startswith(prefix) and key not in self.series:
+                self.watch_counter(counter)
+                added += 1
+        for gauge in registry._gauges.values():
+            key = render_key(gauge.name, gauge.labels)
+            if key.startswith(prefix) and key not in self.series:
+                self.watch_gauge(gauge)
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin cadenced sampling (first tick one cadence from now)."""
+        if self._running:
+            return
+        self._running = True
+        self._until = until
+        self.sim.schedule(self.cadence, self._tick, tag=self.TAG)
+
+    def stop(self) -> None:
+        """Stop sampling; the next pending tick becomes a no-op."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample_now()
+        next_time = self.sim.now + self.cadence
+        if self._until is not None and next_time > self._until:
+            self._running = False
+            return
+        self.sim.schedule(self.cadence, self._tick, tag=self.TAG)
+
+    def sample_now(self) -> Dict[str, float]:
+        """Read every probe once at the current simulated time."""
+        now = self.sim.now
+        values: Dict[str, float] = {}
+        for name, probe in self._probes:
+            value = probe()
+            values[name] = value
+            self.series[name].append(now, value)
+        self.samples_taken += 1
+        if self.stream is not None:
+            self.stream.write_sample(values, t=now)
+        if self.recorder is not None:
+            self.recorder.note_sample(now, values)
+        return values
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All series as plain JSON-able dicts (name -> points/stride)."""
+        return {
+            name: {
+                "agg": series.agg,
+                "stride": series.stride,
+                "points": [[round(t, 6), v] for t, v in series.points()],
+            }
+            for name, series in self.series.items()
+        }
+
+    def __repr__(self) -> str:
+        return (f"TelemetrySampler(cadence={self.cadence}, "
+                f"series={len(self.series)}, samples={self.samples_taken}, "
+                f"running={self._running})")
+
+
+class FlightRecorder:
+    """A crash-safe ring of the last ``window`` seconds of telemetry.
+
+    The production-postmortem shape: samples and causal-stamped events
+    accumulate in bounded deques, older entries evict as simulated time
+    advances, and :meth:`dump` writes the whole ring as JSON the moment
+    something goes wrong — a live safety violation, a steering decision
+    storm, or an exception out of the prediction loop.  The dump is the
+    "what were the last N seconds like" artifact a one-shot final report
+    cannot reconstruct.
+    """
+
+    def __init__(
+        self,
+        window: float = 30.0,
+        dump_path: Optional[str] = None,
+        max_entries: int = 4096,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.window = window
+        self.dump_path = dump_path
+        self.samples: deque = deque(maxlen=max_entries)
+        self.events: deque = deque(maxlen=max_entries)
+        self.dumps_written = 0
+        self.last_dump: Optional[Dict[str, Any]] = None
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window
+        while self.samples and self.samples[0]["t"] < horizon:
+            self.samples.popleft()
+        while self.events and self.events[0]["t"] < horizon:
+            self.events.popleft()
+
+    def note_sample(self, t: float, values: Dict[str, float]) -> None:
+        self.samples.append({"t": round(t, 6), "v": dict(values)})
+        self._evict(t)
+
+    def note_event(self, t: float, kind: str,
+                   data: Optional[Dict[str, Any]] = None,
+                   causal: Optional[Any] = None) -> None:
+        entry: Dict[str, Any] = {"t": round(t, 6), "event": kind,
+                                 "data": data or {}}
+        if causal is not None:
+            entry["causal"] = causal
+        self.events.append(entry)
+        self._evict(t)
+
+    def snapshot(self, reason: str = "", now: Optional[float] = None) -> Dict[str, Any]:
+        """The ring as one JSON-able postmortem document."""
+        return {
+            "flight_recorder": {
+                "reason": reason,
+                "now": now,
+                "window_s": self.window,
+                "host_unix": time.time(),
+                "samples": list(self.samples),
+                "events": list(self.events),
+            }
+        }
+
+    def dump(self, reason: str, now: Optional[float] = None,
+             path: Optional[str] = None) -> Optional[str]:
+        """Write the ring to ``path`` (or the configured ``dump_path``).
+
+        Returns the path written, or ``None`` when no path is
+        configured — the snapshot is still retained on ``last_dump``
+        so in-process consumers (tests, a future job daemon) get the
+        postmortem either way.
+        """
+        snapshot = self.snapshot(reason=reason, now=now)
+        self.last_dump = snapshot
+        self.dumps_written += 1
+        target = path or self.dump_path
+        if target is None:
+            return None
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, default=str)
+            handle.write("\n")
+        return target
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder(window={self.window}, "
+                f"samples={len(self.samples)}, events={len(self.events)}, "
+                f"dumps={self.dumps_written})")
+
+
+__all__ = ["Series", "TelemetrySampler", "FlightRecorder"]

@@ -86,6 +86,7 @@ class CrystalBallRuntime(InboundInterposer):
         max_snapshot_age: Optional[float] = None,
         stale_fallback: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
+        flight_recorder: Optional[Any] = None,
     ) -> None:
         self.node = node
         self.service_factory = service_factory
@@ -175,6 +176,14 @@ class CrystalBallRuntime(InboundInterposer):
         # per-candidate factory in resolve_choice.
         self._explorer: Optional[Explorer] = None
         self._replay_service: Optional[Any] = None
+
+        # Optional crash-safe telemetry ring (repro.obs.timeseries
+        # .FlightRecorder): steering decisions, filter installs, and
+        # predicted/live violations are noted with causal stamps, and
+        # the ring is dumped on a live violation or a prediction-loop
+        # exception.  Pure observation — nothing here feeds back into
+        # execution, so digests are unchanged recorder on/off.
+        self.flight_recorder = flight_recorder
 
         self.state_model = StateModel(node.node_id)
         # All counters live in the metrics registry (a private one per
@@ -354,6 +363,20 @@ class CrystalBallRuntime(InboundInterposer):
                 msg=type(msg).__name__, reason=matched.reason,
                 predicted=list(matched.predicted_path),
             )
+            if self.flight_recorder is not None:
+                causal = (
+                    tracer.chain_ids(tracer.current_event_id())
+                    if tracer is not None else None
+                )
+                self.flight_recorder.note_event(
+                    now, "runtime.steer",
+                    data={
+                        "node": node.node_id, "src": src,
+                        "msg": type(msg).__name__, "reason": matched.reason,
+                        "predicted": list(matched.predicted_path),
+                    },
+                    causal=causal,
+                )
             node.network.break_connection(node.node_id, src)
             return False
         return True
@@ -601,17 +624,33 @@ class CrystalBallRuntime(InboundInterposer):
             workers=self.prediction_workers, metrics=self.metrics,
             memo=self._chain_memo,
         )
-        with self.metrics.span(
-            "runtime.predict", clock=self._sim_clock, node=self.node.node_id,
-        ) as span:
-            world = self.current_world()
-            report = predictor.predict(world)
-            if self._chain_memo is not None:
-                span.annotate(
-                    memo_hits=self._chain_memo.hits,
-                    memo_misses=self._chain_memo.misses,
-                    memo_entries=len(self._chain_memo),
+        try:
+            with self.metrics.span(
+                "runtime.predict", clock=self._sim_clock, node=self.node.node_id,
+            ) as span:
+                world = self.current_world()
+                report = predictor.predict(world)
+                if self._chain_memo is not None:
+                    span.annotate(
+                        memo_hits=self._chain_memo.hits,
+                        memo_misses=self._chain_memo.misses,
+                        memo_entries=len(self._chain_memo),
+                    )
+        except Exception as exc:
+            # The postmortem moment: dump the telemetry ring before the
+            # exception propagates, so the last N seconds of samples and
+            # steering events survive the crash.
+            if self.flight_recorder is not None:
+                now = self.node.sim.now
+                self.flight_recorder.note_event(
+                    now, "runtime.prediction_exception",
+                    data={"node": self.node.node_id, "error": repr(exc)},
                 )
+                self.flight_recorder.dump(
+                    f"prediction exception at node {self.node.node_id}: {exc!r}",
+                    now=now,
+                )
+            raise
         self.stats["predictions"] += 1
         self.stats["states_explored"] += report.total_states
         self.last_prediction_summary = report.summary()
@@ -631,11 +670,25 @@ class CrystalBallRuntime(InboundInterposer):
         # introduce a new inconsistency.
         from ..mc.properties import violated_properties
 
-        if violated_properties(world, self.properties):
+        violated = violated_properties(world, self.properties)
+        if violated:
             self.node.sim.trace.record(
                 self.node.sim.now, "runtime.steer_impossible", node=self.node.node_id,
                 unsafe=len(unsafe),
             )
+            if self.flight_recorder is not None:
+                now = self.node.sim.now
+                self.flight_recorder.note_event(
+                    now, "runtime.violation_live",
+                    data={
+                        "node": self.node.node_id, "unsafe": len(unsafe),
+                        "properties": violated,
+                    },
+                )
+                self.flight_recorder.dump(
+                    f"live violation at node {self.node.node_id}: {violated}",
+                    now=now,
+                )
             return
         now = self.node.sim.now
         for outcome in unsafe:
@@ -675,6 +728,16 @@ class CrystalBallRuntime(InboundInterposer):
                     src=action.src, msg=type(action.msg).__name__,
                     reason=violation.property_name,
                 )
+                if self.flight_recorder is not None and newly_installed:
+                    self.flight_recorder.note_event(
+                        now, "runtime.filter_installed",
+                        data={
+                            "node": self.node.node_id, "src": action.src,
+                            "msg": type(action.msg).__name__,
+                            "reason": violation.property_name,
+                            "predicted": [a.describe() for a in violation.path],
+                        },
+                    )
 
     # ------------------------------------------------------------------
     # Predictive choice resolution

@@ -69,3 +69,30 @@ def test_stop_after_halts_at_first_violation():
         assert len(result.counterexamples) == 1
         assert result.executions <= 150
         assert result.first_violation_execution == result.counterexamples[0].execution
+
+
+def test_stream_emits_progress_and_summary(tmp_path):
+    from repro.obs.stream import read_stream
+
+    path = str(tmp_path / "fuzz.jsonl")
+    result = _mini_campaign(budget=12, stream=path, progress_every=5).run()
+    records = read_stream(path)
+    types = [r["type"] for r in records]
+    assert types[0] == "header" and types[-1] == "summary"
+    assert records[0]["kind"] == "fuzz"
+    progress = [r for r in records if r["type"] == "event"
+                and r["event"] == "fuzz.progress"]
+    # One event every 5 executions plus the final one at budget end.
+    assert [p["data"]["executions"] for p in progress] == [5, 10, 12]
+    final = progress[-1]["data"]
+    assert final["coverage_bits"] >= 0
+    assert final["violations"] == result.summary()["violations"]
+    assert records[-1]["data"]["executions"] == result.executions
+
+
+def test_stream_does_not_change_campaign_results(tmp_path):
+    baseline = _mini_campaign(budget=12).run()
+    streamed = _mini_campaign(
+        budget=12, stream=str(tmp_path / "fuzz.jsonl"), progress_every=3,
+    ).run()
+    assert streamed.summary() == baseline.summary()

@@ -119,3 +119,67 @@ def test_stats_view_repr_is_dict_repr():
     view = stats_view(MetricsRegistry(), "r", ("x",))
     assert repr(view) == "{'x': 0}"
     assert isinstance(view, StatsView)
+
+
+# ----------------------------------------------------------------------
+# Streaming quantiles (log-bucket sketch)
+# ----------------------------------------------------------------------
+
+def test_quantiles_on_uniform_data_within_bucket_error():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    for i in range(1, 10_001):
+        hist.observe(i / 1000.0)  # uniform on (0, 10]
+    # 16 log-buckets per decade -> ~15% bucket width, so readouts land
+    # within ±10% of the exact quantile.
+    for q, exact in ((0.5, 5.0), (0.95, 9.5), (0.99, 9.9)):
+        estimate = hist.quantile(q)
+        assert abs(estimate - exact) / exact < 0.10, (q, estimate)
+
+
+def test_quantile_empty_histogram_is_none():
+    hist = MetricsRegistry().histogram("lat")
+    assert hist.quantile(0.5) is None
+    assert all(v is None for v in hist.quantiles().values())
+
+
+def test_quantile_validates_q():
+    hist = MetricsRegistry().histogram("lat")
+    hist.observe(1.0)
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError):
+            hist.quantile(bad)
+
+
+def test_zero_and_negative_observations_map_to_min():
+    hist = MetricsRegistry().histogram("lat")
+    for value in (-1.0, 0.0, 0.0, 5.0):
+        hist.observe(value)
+    # rank 0.5 * 4 = 2 falls inside the underflow bucket -> min.
+    assert hist.quantile(0.5) == -1.0
+
+
+def test_quantile_readout_clamped_to_observed_range():
+    hist = MetricsRegistry().histogram("lat")
+    hist.observe(7.0)
+    # A single observation: every quantile is that observation, not the
+    # geometric bucket midpoint.
+    assert hist.quantile(0.5) == 7.0
+    assert hist.quantile(0.99) == 7.0
+
+
+def test_summary_includes_quantiles():
+    hist = MetricsRegistry().histogram("lat")
+    for value in (1.0, 2.0, 3.0, 10.0):
+        hist.observe(value)
+    summary = hist.summary()
+    for key in ("p50", "p95", "p99"):
+        assert key in summary
+        assert summary["min"] <= summary[key] <= summary["max"]
+    assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+def test_disabled_registry_gates_quantiles():
+    hist = MetricsRegistry(enabled=False).histogram("lat")
+    hist.observe(1.0)
+    assert hist.quantile(0.5) is None

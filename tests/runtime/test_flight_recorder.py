@@ -1,0 +1,171 @@
+"""Flight recorder wired into the CrystalBall runtime.
+
+The recorder is the crash-safe ring the controller feeds: steering
+decisions land as causal-stamped events, live violations and prediction
+exceptions trigger a dump of the last-N-seconds postmortem.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mc import ActionOutcome, DeliverAction, PredictionReport, SafetyProperty, Violation
+from repro.obs import FlightRecorder
+from repro.runtime import install_crystalball
+from repro.statemachine import Cluster, Message, Service, msg_handler, timer_handler
+
+
+@dataclass
+class Bump(Message):
+    amount: int
+
+
+class CounterService(Service):
+    state_fields = ("value",)
+
+    def __init__(self, node_id: int, n: int = 3) -> None:
+        super().__init__(node_id)
+        self.n = n
+        self.value = 0
+
+    def on_init(self) -> None:
+        self.set_timer("bump", 1.0)
+
+    @timer_handler("bump")
+    def on_bump_timer(self, payload) -> None:
+        self.send((self.node_id + 1) % self.n, Bump(amount=1))
+        self.set_timer("bump", 1.0)
+
+    @msg_handler(Bump)
+    def on_bump(self, src: int, msg: Bump) -> None:
+        self.value += msg.amount
+
+
+def factory(node_id):
+    return CounterService(node_id, 3)
+
+
+NODE0_LOW = SafetyProperty(
+    "node0-low",
+    lambda w: w.state_of(0).get("value", 0) < 1 if 0 in w.node_states else True,
+)
+
+
+def run_steering_scenario(recorder, causal=False):
+    cluster = Cluster(3, factory, seed=3, causal=causal)
+    runtimes = install_crystalball(
+        cluster, factory, properties=[NODE0_LOW],
+        checkpoint_period=0.5, prediction_period=0.9, chain_depth=2,
+        budget=300, flight_recorder=recorder,
+    )
+    cluster.start_all()
+    cluster.run(until=6.0)
+    return cluster, runtimes
+
+
+def events_of(recorder, kind):
+    return [e for e in recorder.events if e["event"] == kind]
+
+
+def test_steering_scenario_records_filter_and_steer_events():
+    recorder = FlightRecorder(window=60.0)
+    cluster, runtimes = run_steering_scenario(recorder)
+    assert runtimes[0].stats["steered_messages"] > 0
+
+    installed = events_of(recorder, "runtime.filter_installed")
+    assert installed, "no filter_installed events recorded"
+    assert installed[0]["data"]["node"] == 0
+    assert installed[0]["data"]["reason"] == "node0-low"
+    assert installed[0]["data"]["predicted"]  # the violating path
+
+    steered = events_of(recorder, "runtime.steer")
+    assert steered, "no steer events recorded"
+    assert steered[0]["data"]["msg"] == "Bump"
+    assert steered[0]["data"]["reason"] == "node0-low"
+    # Event counts match the runtime's own accounting.
+    assert len(steered) == runtimes[0].stats["steered_messages"]
+
+
+def test_steer_events_carry_causal_stamps_when_tracing():
+    recorder = FlightRecorder(window=60.0)
+    run_steering_scenario(recorder, causal=True)
+    steered = events_of(recorder, "runtime.steer")
+    assert steered
+    assert all("causal" in e for e in steered)
+    assert all(e["causal"] for e in steered)
+
+
+def test_no_recorder_events_when_everything_safe():
+    recorder = FlightRecorder(window=60.0)
+    cluster = Cluster(3, factory, seed=3)
+    install_crystalball(
+        cluster, factory, checkpoint_period=0.5, prediction_period=1.0,
+        chain_depth=2, budget=200, flight_recorder=recorder,
+    )
+    cluster.start_all()
+    cluster.run(until=4.0)
+    assert not recorder.events
+    assert recorder.dumps_written == 0
+
+
+def test_live_violation_dumps_postmortem(tmp_path):
+    # A world that already violates the property cannot be steered away
+    # from it; the recorder must dump the ring at that moment.
+    dump_path = str(tmp_path / "postmortem.json")
+    recorder = FlightRecorder(window=60.0, dump_path=dump_path)
+    cluster = Cluster(3, factory, seed=3)
+    runtimes = install_crystalball(
+        cluster, factory,
+        properties=[SafetyProperty("always-bad", lambda w: False)],
+        checkpoint_period=0.0, flight_recorder=recorder,
+    )
+    cluster.start_all()
+    cluster.run(until=0.5)
+    runtime = runtimes[0]
+    world = runtime.current_world()
+    action = DeliverAction(src=1, dst=0, msg=Bump(amount=1), handler="on_bump")
+    report = PredictionReport(
+        outcomes=[ActionOutcome(
+            action=action,
+            violations=[Violation(property_name="always-bad",
+                                  path=(action,), world=world)],
+        )],
+        total_states=1,
+    )
+    runtime._apply_steering(report, world)
+
+    assert recorder.dumps_written == 1
+    doc = recorder.last_dump["flight_recorder"]
+    assert "live violation at node 0" in doc["reason"]
+    violation = events_of(recorder, "runtime.violation_live")[0]
+    assert violation["data"]["properties"] == ["always-bad"]
+    # The dump also landed on disk at the configured path.
+    import json
+    with open(dump_path, encoding="utf-8") as handle:
+        assert json.load(handle)["flight_recorder"]["reason"] == doc["reason"]
+    # No filter was installed: steering away was impossible.
+    assert runtime.stats["filters_installed"] == 0
+
+
+def test_prediction_exception_dumps_before_propagating():
+    recorder = FlightRecorder(window=60.0)
+    cluster = Cluster(3, factory, seed=3)
+    runtimes = install_crystalball(
+        cluster, factory, checkpoint_period=0.0, flight_recorder=recorder,
+    )
+    cluster.start_all()
+    cluster.run(until=0.5)
+    runtime = runtimes[0]
+
+    def boom():
+        raise RuntimeError("checkpoint decode failed")
+
+    runtime.current_world = boom
+    with pytest.raises(RuntimeError, match="checkpoint decode failed"):
+        runtime.run_prediction()
+
+    assert recorder.dumps_written == 1
+    assert "prediction exception at node 0" in \
+        recorder.last_dump["flight_recorder"]["reason"]
+    event = events_of(recorder, "runtime.prediction_exception")[0]
+    assert "checkpoint decode failed" in event["data"]["error"]
