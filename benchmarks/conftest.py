@@ -51,6 +51,7 @@ KNOWN_BENCH_IDS: Dict[str, str] = {
     "R1": "adversarial scenario search (fuzz vs random)",
     "S1": "simulator scale (hot loop, sparse topologies, partial views)",
     "T1": "batched Multi-Paxos throughput under chaos (steering on/off)",
+    "T2": "amortized prediction-driven steering throughput (off/static/amortized)",
 }
 
 # Per-bench-id accumulators, flushed to BENCH_<ID>.json at session end.

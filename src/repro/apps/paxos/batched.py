@@ -189,6 +189,8 @@ class BatchedPaxosReplica(PaxosReplica):
         return self.choose(
             "proposer", candidates,
             origin=self.node_id, size=len(batch),
+            queue=len(self.pending),
+            conflicts=round(self.recent_conflicts, 3),
         )
 
     # ------------------------------------------------------------------

@@ -5,7 +5,7 @@ Applications expose decisions as :class:`ChoicePoint` objects via
 the runtime what to maximize when it resolves predictively.
 """
 
-from .choicepoint import ChoiceError, ChoicePoint, ChoiceResolver
+from .choicepoint import ChoiceError, ChoicePoint, ChoiceResolver, ConfigurationError
 from .objectives import (
     LIVENESS_REWARD,
     SAFETY_PENALTY,
@@ -30,6 +30,7 @@ __all__ = [
     "ChoiceError",
     "ChoicePoint",
     "ChoiceResolver",
+    "ConfigurationError",
     "LIVENESS_REWARD",
     "SAFETY_PENALTY",
     "LivenessObjective",

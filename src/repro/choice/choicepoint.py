@@ -20,6 +20,15 @@ class ChoiceError(Exception):
     """Raised for empty candidate lists or failed resolution."""
 
 
+class ConfigurationError(ChoiceError):
+    """Raised at install/construction time for invalid resolver wiring.
+
+    Misconfiguration (a missing or non-resolver fallback, an amortized
+    policy without a degradation target) should fail where the wiring
+    happens, not thousands of dispatches later inside ``resolve()``.
+    """
+
+
 @dataclass
 class ChoicePoint:
     """One exposed decision.
@@ -61,4 +70,4 @@ class ChoiceResolver:
         return f"{type(self).__name__}()"
 
 
-__all__ = ["ChoicePoint", "ChoiceError", "ChoiceResolver"]
+__all__ = ["ChoicePoint", "ChoiceError", "ChoiceResolver", "ConfigurationError"]

@@ -135,6 +135,7 @@ def _cmd_e7(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import json
     import os
     import subprocess
     from pathlib import Path
@@ -146,6 +147,17 @@ def _cmd_bench(args) -> int:
         print(f"no benchmark module matches benchmarks/bench_{bench_id}*.py",
               file=sys.stderr)
         return 2
+    baseline = None
+    if args.compare:
+        # Read the baseline up front: comparing against a copy of the
+        # very file this run is about to overwrite must see the *old*
+        # numbers, and a missing baseline should fail before the run.
+        try:
+            with open(args.compare, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except OSError as err:
+            print(f"cannot read baseline {args.compare}: {err}", file=sys.stderr)
+            return 2
     env = dict(os.environ)
     src = str(repo_root / "src")
     env["PYTHONPATH"] = src + (
@@ -159,6 +171,19 @@ def _cmd_bench(args) -> int:
     json_path = repo_root / f"BENCH_{bench_id.upper()}.json"
     if json_path.exists():
         print(f"results: {json_path}")
+    if baseline is not None:
+        from .metrics import compare_bench
+
+        if not json_path.exists():
+            print(f"--compare: no {json_path.name} produced to compare",
+                  file=sys.stderr)
+            return status or 1
+        with open(json_path, "r", encoding="utf-8") as fh:
+            current = json.load(fh)
+        comparison = compare_bench(baseline, current, tolerance=args.tolerance)
+        print(comparison.summary())
+        if not comparison.ok:
+            return status or 1
     return status
 
 
@@ -205,6 +230,24 @@ def _near_violation_totals(metrics) -> dict:
     return totals
 
 
+def _steering_policy_totals(metrics) -> dict:
+    """Aggregate per-node amortized-steering snapshots for a report."""
+    from .runtime import merge_steering_snapshots
+
+    snapshots = [
+        section["steering"]["amortized"]
+        for section in metrics.get("nodes", {}).values()
+        if section.get("steering", {}).get("amortized")
+    ]
+    # A cluster-level steering section (T1/T2 experiment results carry
+    # one pre-merged) wins over re-deriving it from nodes.
+    if metrics.get("steering"):
+        return metrics["steering"]
+    if not snapshots:
+        return {}
+    return merge_steering_snapshots(snapshots)
+
+
 def _cmd_report(args) -> int:
     from .obs import RunReport
 
@@ -219,6 +262,19 @@ def _cmd_report(args) -> int:
     if near:
         context["near_violations"] = near
         print(f"near-violations predicted: {near}")
+    steering = _steering_policy_totals(result.metrics)
+    if steering:
+        context["steering"] = steering
+        counters = steering.get("counters", {})
+        policy = steering.get("policy", {})
+        print(
+            "amortized steering: "
+            f"{counters.get('scored_rounds', 0)} scored rounds, "
+            f"{counters.get('policy_hits', 0)} policy hits "
+            f"(hit rate {policy.get('hit_rate', 0.0):.0%}), "
+            f"{counters.get('coalesced', 0)} coalesced, "
+            f"{counters.get('fallbacks', 0)} fallbacks"
+        )
     report = RunReport(
         title=f"{args.experiment}/{variant}",
         metrics=result.metrics,
@@ -475,8 +531,9 @@ def _cmd_t1(args) -> int:
 
     total = 4_000 if args.quick else args.requests
     horizon = 15.0 if args.quick else args.horizon
+    mode = {"on": "static"}.get(args.steering, args.steering)
     result = run_throughput_experiment(
-        steering=args.steering == "on",
+        steering=mode,
         seed=args.seed,
         total_requests=total,
         horizon=horizon,
@@ -484,6 +541,15 @@ def _cmd_t1(args) -> int:
         telemetry_cadence=args.cadence,
     )
     print(result.summary())
+    print(f"digest: {result.state_digest}")
+    steering = result.metrics.get("steering")
+    if steering:
+        counters = steering["counters"]
+        print(
+            f"steering: {counters.get('scored_rounds', 0)} scored rounds / "
+            f"{sum(counters.values())} resolutions, policy hit rate "
+            f"{steering['policy'].get('hit_rate', 0.0):.0%}"
+        )
     if args.stream:
         print(f"stream: {args.stream}")
     return 0 if result.safe else 1
@@ -569,6 +635,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "benchmarks/bench_<id>*.py)")
     p.add_argument("--quick", action="store_true",
                    help="reduced iterations (sets REPRO_BENCH_QUICK=1)")
+    p.add_argument("--compare", default=None, metavar="BASELINE.json",
+                   help="after the run, diff BENCH_<ID>.json against this "
+                        "baseline and fail on metric regressions beyond "
+                        "--tolerance (digests must match exactly)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative regression tolerance for --compare "
+                        "(default: 0.10)")
     p = sub.add_parser(
         "report",
         help="run one experiment and emit its per-node metrics report",
@@ -639,7 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
         "t1",
         help="batched Multi-Paxos throughput run (streamable via --stream)",
     )
-    p.add_argument("--steering", choices=("on", "off"), default="on")
+    p.add_argument("--steering", choices=("on", "off", "static", "amortized"),
+                   default="on",
+                   help="choice steering: off, static (deployment-model "
+                        "resolver; 'on' is an alias), or amortized "
+                        "(prediction-driven via distilled policies)")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--requests", type=int, default=100_000,
                    help="total offered requests (default: 100000)")

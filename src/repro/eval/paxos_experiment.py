@@ -28,6 +28,29 @@ from ..statemachine import Cluster
 
 PAXOS_VARIANTS = ("fixed", "mencius", "choice")
 
+#: Steering modes for :func:`run_throughput_experiment`.  ``off`` is the
+#: static default resolver (first candidate), ``static`` the
+#: deployment-model resolver, ``amortized`` prediction-driven steering
+#: through the :class:`~repro.runtime.AmortizedSteering` scheduler.
+STEERING_MODES = ("off", "static", "amortized")
+
+
+def steering_mode(steering: Any) -> str:
+    """Normalize a steering argument (bool or mode name) to a mode.
+
+    ``True``/``False`` keep their historical meaning (``static``/``off``)
+    so existing callers and recorded benchmark configs stay valid.
+    """
+    if steering is True:
+        return "static"
+    if steering is False:
+        return "off"
+    if steering in STEERING_MODES:
+        return str(steering)
+    raise ValueError(
+        f"unknown steering mode {steering!r}; expected a bool or one of {STEERING_MODES}"
+    )
+
 
 @dataclass
 class PaxosResult:
@@ -143,7 +166,7 @@ def run_paxos_experiment(
 class ThroughputResult:
     """One batched Multi-Paxos run under load (and chaos)."""
 
-    steering: bool
+    steering: bool  # kept for compat: mode != "off"
     seed: int
     n: int
     plan_name: str
@@ -158,6 +181,7 @@ class ThroughputResult:
     at_most_once: bool
     probes: int
     state_digest: str
+    mode: str = "off"
     chaos_stats: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
 
@@ -167,7 +191,7 @@ class ThroughputResult:
         return self.agreement and self.at_most_once
 
     def summary(self) -> str:
-        mode = "steer-on " if self.steering else "steer-off"
+        mode = f"steer-{self.mode:<9}"
         status = "SAFE" if self.safe else "VIOLATED"
         return (
             f"{mode}  seed={self.seed}  plan={self.plan_name:<14}"
@@ -177,7 +201,7 @@ class ThroughputResult:
 
 
 def run_throughput_experiment(
-    steering: bool,
+    steering: Any,
     seed: int = 0,
     total_requests: int = 100_000,
     horizon: float = 60.0,
@@ -192,6 +216,12 @@ def run_throughput_experiment(
     stream: Optional[Any] = None,
     telemetry: bool = False,
     telemetry_cadence: float = 1.0,
+    coalesce_window: float = 0.25,
+    max_policy_age: float = 20.0,
+    policy_rate_budget: Optional[float] = 3_000.0,
+    policy_initial_allowance: Optional[float] = 30_000.0,
+    policy_budget: int = 240,
+    checkpoint_period: float = 0.0,
 ) -> ThroughputResult:
     """T1: committed-ops throughput of batched Multi-Paxos under load.
 
@@ -199,10 +229,32 @@ def run_throughput_experiment(
     ``total_requests`` commands closed-loop over the reference WAN while
     an A7 chaos plan (default: ``message-chaos``; amnesia is rejected,
     as in :func:`~repro.eval.chaos_experiment.run_chaos_paxos_experiment`)
-    runs against the cluster.  ``steering=True`` resolves the exposed
-    batch-size / proposer / retry-pacing choices with the deployment-model
-    resolver; ``steering=False`` is the static default (first candidate:
-    batch size 1, local proposer) — the legacy unbatched behaviour.
+    runs against the cluster.  ``steering`` picks how the exposed
+    batch-size / proposer / retry-pacing choices resolve:
+
+    * ``"off"`` (or ``False``) — the static default (first candidate:
+      batch size 1, local proposer), the legacy unbatched behaviour;
+    * ``"static"`` (or ``True``) — the deployment-model resolver,
+      precomputed from topology and configured loads;
+    * ``"amortized"`` — prediction-driven steering through the
+      :class:`~repro.runtime.AmortizedSteering` scheduler: a full
+      CrystalBall runtime is installed per node, scored prediction
+      rounds distill :class:`~repro.runtime.SteeringPolicy` rankings
+      against a committed-work objective
+      (:class:`~repro.apps.paxos.ThroughputObjective`), and the hot path
+      answers from the coalescing cache / policy, degrading to the
+      ``static`` resolver when the policy is stale or the budget is
+      spent (``policy_initial_allowance`` weighted states up front plus
+      ``policy_rate_budget`` per sim-second; rounds whose projected
+      replay cost no longer fits the remaining allowance are denied
+      before any state is captured, concentrating prediction early
+      while the decided logs are small).
+      Cluster-wide scheduler counters land in ``metrics["steering"]``.
+      Checkpoint gossip is off by default (``checkpoint_period=0``):
+      the committed-work objective scores local queue drain, and at
+      10^5-request scale periodically snapshotting ever-growing decided
+      logs would dominate the run — prediction rounds replay from the
+      local captured dispatch only.
 
     Safety is probed every ``probe_period`` seconds *during* the run and
     once at the end: cross-replica agreement and at-most-once execution
@@ -223,11 +275,14 @@ def run_throughput_experiment(
     it, and draws no RNG, so ``state_digest`` is byte-identical with
     streaming on or off (``benchmarks/bench_o3_stream.py`` asserts it).
     """
-    from ..apps.paxos import ClientLoad, make_throughput_resolver
+    from ..apps.paxos import ClientLoad, ThroughputObjective, make_throughput_resolver
     from ..chaos import ChaosController, CrashEvent
     from ..obs import TelemetrySampler, as_stream
+    from ..runtime import merge_steering_snapshots
     from ..statemachine.serialization import digest
 
+    mode = steering_mode(steering)
+    steering = mode != "off"
     if config is None:
         config = PaxosConfig(
             n=n, requests_per_node=0, processing_delays=processing_delays,
@@ -245,11 +300,27 @@ def run_throughput_experiment(
     topology = wan_topology(n)
     factory = make_paxos_factory("batched", config)
     resolver_factory = None
-    if steering:
+    if mode == "static":
         resolver = make_throughput_resolver(topology, config)
         resolver_factory = lambda node_id: resolver
     cluster = Cluster(n, factory, topology=topology, seed=seed,
                       resolver_factory=resolver_factory)
+    runtimes: List[Any] = []
+    if mode == "amortized":
+        runtimes = install_crystalball(
+            cluster, factory, set_resolver=True,
+            checkpoint_period=checkpoint_period, prediction_period=0.0,
+            objective=ThroughputObjective(),
+            steering_policy=True,
+            policy_fallback=make_throughput_resolver(topology, config),
+            coalesce_window=coalesce_window,
+            max_policy_age=max_policy_age,
+            policy_rate_budget=policy_rate_budget,
+            policy_initial_allowance=policy_initial_allowance,
+            policy_budget=policy_budget,
+        )
+        for runtime in runtimes:
+            runtime.network_model.bootstrap_from_topology(topology)
     cluster.sim.trace.enabled = False
     controller = ChaosController(cluster, plan)
     controller.arm()
@@ -258,7 +329,7 @@ def run_throughput_experiment(
     run_stream = as_stream(
         stream, kind="t1", clock=lambda: cluster.sim.now,
         config={
-            "steering": steering, "seed": seed, "n": n,
+            "steering": steering, "mode": mode, "seed": seed, "n": n,
             "total_requests": total_requests, "horizon": horizon,
             "plan": plan.name or "custom", "cadence": telemetry_cadence,
         },
@@ -329,12 +400,16 @@ def run_throughput_experiment(
         for s in cluster.services
     })
     metrics = collect_cluster_metrics(cluster)
+    if runtimes:
+        metrics["steering"] = merge_steering_snapshots(
+            r.amortized.snapshot() for r in runtimes if r.amortized is not None
+        )
     if sampler is not None:
         sampler.stop()
         metrics["telemetry"] = sampler.snapshot()
     if run_stream is not None:
         summary_data = dict(
-            steering=steering, seed=seed, plan=plan.name or "custom",
+            steering=steering, mode=mode, seed=seed, plan=plan.name or "custom",
             offered=load.offered(), committed=committed,
             ops_per_sec=round(committed / horizon, 3) if horizon > 0 else 0.0,
             agreement=safety["agreement"], at_most_once=safety["at_most_once"],
@@ -346,6 +421,7 @@ def run_throughput_experiment(
             run_stream.write_event("t1.done", t=cluster.sim.now, **summary_data)
     return ThroughputResult(
         steering=steering,
+        mode=mode,
         seed=seed,
         n=n,
         plan_name=plan.name or "custom",
@@ -390,6 +466,7 @@ def at_most_once_holds(cluster: Cluster) -> bool:
     return True
 
 
-__all__ = ["PAXOS_VARIANTS", "DEFAULT_LOADS", "PaxosResult", "ThroughputResult",
-           "wan_topology", "run_paxos_experiment", "run_throughput_experiment",
+__all__ = ["PAXOS_VARIANTS", "STEERING_MODES", "DEFAULT_LOADS", "PaxosResult",
+           "ThroughputResult", "steering_mode", "wan_topology",
+           "run_paxos_experiment", "run_throughput_experiment",
            "agreement_holds", "at_most_once_holds"]

@@ -20,6 +20,7 @@ from .consequence import (
     ConsequencePredictor,
     PredictionReport,
     score_outcome,
+    score_report,
 )
 from .liveness import BoundedLivenessChecker, LivenessProperty, LivenessResult
 from .randomwalk import RandomWalkSimulator, SampleReport, Walk
@@ -50,6 +51,7 @@ __all__ = [
     "ConsequencePredictor",
     "PredictionReport",
     "score_outcome",
+    "score_report",
     "BoundedLivenessChecker",
     "LivenessProperty",
     "LivenessResult",

@@ -330,6 +330,7 @@ class ChainMemo:
         self.stores = 0
         self.evictions = 0
         self.invalidations = 0
+        self.invalidation_reasons: Dict[str, int] = {}
         self.rebase_errors = 0
 
     def __len__(self) -> int:
@@ -345,6 +346,10 @@ class ChainMemo:
     def invalidate(self, reason: str = "") -> None:
         """Drop every entry (topology/chaos/steering changed)."""
         with self._lock:
+            if self._entries and reason:
+                self.invalidation_reasons[reason] = (
+                    self.invalidation_reasons.get(reason, 0) + 1
+                )
             self._invalidate_locked()
 
     def _invalidate_locked(self) -> None:
@@ -508,6 +513,7 @@ class ChainMemo:
                 "stores": self.stores,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "invalidation_reasons": dict(self.invalidation_reasons),
                 "rebase_errors": self.rebase_errors,
                 "hit_rate": self.hit_rate,
             }

@@ -410,9 +410,30 @@ def score_outcome(
     raise ValueError(f"unknown aggregate {aggregate!r}")
 
 
+def score_report(
+    report: PredictionReport,
+    objective: Objective,
+    aggregate: str = "mean",
+) -> float:
+    """The report-level future score: outcome scores averaged.
+
+    This is the quantity both choice-scoring paths (the per-choice
+    resolver and the amortized policy's scored rounds) add to a
+    candidate's immediate score; factored here so the two stay
+    definitionally identical.  An empty report scores 0.
+    """
+    if not report.outcomes:
+        return 0.0
+    return sum(
+        score_outcome(outcome, objective, aggregate=aggregate)
+        for outcome in report.outcomes
+    ) / len(report.outcomes)
+
+
 __all__ = [
     "ConsequencePredictor",
     "ActionOutcome",
     "PredictionReport",
     "score_outcome",
+    "score_report",
 ]

@@ -1,5 +1,13 @@
-"""Code metrics used by the Section 4 development-effort comparison."""
+"""Code metrics used by the Section 4 development-effort comparison,
+plus benchmark regression comparison for ``cli bench --compare``."""
 
+from .benchdiff import (
+    BenchComparison,
+    MetricDelta,
+    compare_bench,
+    compare_bench_files,
+    metric_direction,
+)
 from .compare import (
     ComparisonReport,
     ImplementationMetrics,
@@ -17,6 +25,11 @@ from .complexity import (
 from .loc import logical_loc, logical_loc_of_file
 
 __all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "compare_bench",
+    "compare_bench_files",
+    "metric_direction",
     "ComparisonReport",
     "ImplementationMetrics",
     "compare_files",

@@ -1,0 +1,189 @@
+"""Benchmark regression comparison (``cli bench --compare``).
+
+Compares the ``metrics`` dict of a freshly-produced ``BENCH_<ID>.json``
+against a recorded baseline and flags metrics that moved more than a
+tolerance in the *bad* direction.  The direction is inferred from the
+metric name: throughput-like metrics (``ops_per_sec``, ``speedup``,
+``hit_rate``, ``committed``...) must not drop; cost-like metrics
+(``seconds``, ``overhead``, ``bytes``, ``latency``...) must not grow.
+String-valued metrics — digests above all — must be byte-identical,
+which is what turns a same-seed double run into a determinism gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Substrings marking a metric where *higher* is better.
+HIGHER_IS_BETTER = (
+    "ops_per_sec", "speedup", "hit_rate", "hits", "committed", "rate",
+    "throughput", "coverage", "found", "per_sec",
+)
+
+#: Substrings marking a metric where *lower* is better.
+LOWER_IS_BETTER = (
+    "seconds", "_s", "overhead", "bytes", "latency", "wall", "states",
+    "misses", "duty_cycle", "time",
+)
+
+#: Metrics that vary run-to-run by nature and are never compared.
+SKIPPED = ("wall_time_s", "score_wall_s", "quick")
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` is better, or None (direction unknown).
+
+    Checked most-specific-first on the last path component so
+    ``message-chaos.ops_per_sec_steering_off`` reads as a throughput.
+    """
+    leaf = name.rsplit(".", 1)[-1].lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in leaf:
+            return "higher"
+    for marker in LOWER_IS_BETTER:
+        if marker in leaf:
+            return "lower"
+    return None
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: its values and the verdict."""
+
+    name: str
+    baseline: Any
+    current: Any
+    change: Optional[float]  # relative change, None for non-numerics
+    verdict: str  # "ok" | "regressed" | "improved" | "changed" | "skipped"
+
+    def describe(self) -> str:
+        if self.change is None:
+            return (f"{self.name}: {self.baseline!r} -> {self.current!r} "
+                    f"[{self.verdict}]")
+        return (f"{self.name}: {self.baseline} -> {self.current} "
+                f"({self.change:+.1%}) [{self.verdict}]")
+
+
+@dataclass
+class BenchComparison:
+    """The outcome of comparing one bench result against a baseline."""
+
+    bench: str
+    tolerance: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict in ("regressed", "changed")]
+
+    @property
+    def ok(self) -> bool:
+        """No regressions, no digest flips, no vanished metrics."""
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        lines = [
+            f"bench {self.bench}: {len(self.deltas)} metrics compared "
+            f"(tolerance {self.tolerance:.0%})"
+        ]
+        for delta in self.deltas:
+            if delta.verdict != "ok":
+                lines.append("  " + delta.describe())
+        for name in self.missing:
+            lines.append(f"  {name}: present in baseline, missing now [regressed]")
+        for name in self.added:
+            lines.append(f"  {name}: new metric (no baseline) [info]")
+        lines.append("PASS" if self.ok else "FAIL: regressions above tolerance")
+        return "\n".join(lines)
+
+
+def _compare_one(name: str, base: Any, cur: Any, tolerance: float) -> MetricDelta:
+    if name.rsplit(".", 1)[-1] in SKIPPED:
+        return MetricDelta(name, base, cur, None, "skipped")
+    if isinstance(base, bool) or isinstance(cur, bool) or \
+            isinstance(base, str) or isinstance(cur, str):
+        # Exact-match metrics: digests, flags, mode names.  Any flip is
+        # a regression (for digests: a determinism break).
+        return MetricDelta(name, base, cur, None,
+                           "ok" if base == cur else "changed")
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        return MetricDelta(name, base, cur, None, "skipped")
+    if base == cur:
+        return MetricDelta(name, base, cur, 0.0, "ok")
+    change = (cur - base) / abs(base) if base else float("inf") * (1 if cur > 0 else -1)
+    direction = metric_direction(name)
+    if direction is None:
+        # Unknown direction: any move beyond tolerance is suspicious.
+        verdict = "ok" if abs(change) <= tolerance else "changed"
+    elif direction == "higher":
+        verdict = ("regressed" if change < -tolerance
+                   else "improved" if change > tolerance else "ok")
+    else:
+        verdict = ("regressed" if change > tolerance
+                   else "improved" if change < -tolerance else "ok")
+    return MetricDelta(name, base, cur, change, verdict)
+
+
+def _flatten(metrics: Dict[str, Any], prefix: str = "") -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, prefix=name + "."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: float = 0.10,
+) -> BenchComparison:
+    """Compare two BENCH_<ID>.json payloads (parsed dicts).
+
+    Only the ``metrics`` sections are compared; tables are presentation.
+    Returns a :class:`BenchComparison` whose ``ok`` is False when any
+    metric regressed beyond ``tolerance``, any exact-match metric
+    (digest/flag) flipped, or a baseline metric vanished.
+    """
+    base_metrics = _flatten(baseline.get("metrics", {}))
+    cur_metrics = _flatten(current.get("metrics", {}))
+    comparison = BenchComparison(
+        bench=str(current.get("bench", baseline.get("bench", "?"))),
+        tolerance=tolerance,
+    )
+    for name in sorted(base_metrics):
+        if name in cur_metrics:
+            comparison.deltas.append(
+                _compare_one(name, base_metrics[name], cur_metrics[name], tolerance)
+            )
+        elif name.rsplit(".", 1)[-1] not in SKIPPED:
+            comparison.missing.append(name)
+    comparison.added.extend(sorted(set(cur_metrics) - set(base_metrics)))
+    return comparison
+
+
+def compare_bench_files(
+    baseline_path: str, current_path: str, tolerance: float = 0.10,
+) -> BenchComparison:
+    """File-path convenience wrapper around :func:`compare_bench`."""
+    import json
+
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(current_path, "r", encoding="utf-8") as fh:
+        current = json.load(fh)
+    return compare_bench(baseline, current, tolerance=tolerance)
+
+
+__all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "compare_bench",
+    "compare_bench_files",
+    "metric_direction",
+]

@@ -56,10 +56,10 @@ def node_metrics(node) -> Dict[str, Any]:
         return section
     section["runtime"] = dict(runtime.stats)
     section["epoch"] = runtime.epoch
-    section["steering"] = {
-        "filtered": runtime.steering.filtered_count,
-        "active_filters": len(runtime.steering),
-    }
+    section["steering"] = runtime.steering.snapshot()
+    amortized = getattr(runtime, "amortized", None)
+    if amortized is not None:
+        section["steering"]["amortized"] = amortized.snapshot()
     snapshot = runtime.metrics.snapshot()
     if snapshot["spans"]:
         section["spans"] = snapshot["spans"]

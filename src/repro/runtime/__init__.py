@@ -14,11 +14,23 @@ from .checkpoints import (
     is_runtime_message,
 )
 from .controller import CrystalBallRuntime
+from .policy import (
+    AmortizedSteering,
+    SteeringPolicy,
+    identity_key,
+    merge_steering_snapshots,
+    scenario_signature,
+)
 from .policy_cache import CachedResolver, PolicyCache, scenario_key
 from .resolver import PredictiveResolver, install_crystalball
 from .steering import EventFilter, SteeringModule
 
 __all__ = [
+    "AmortizedSteering",
+    "SteeringPolicy",
+    "identity_key",
+    "merge_steering_snapshots",
+    "scenario_signature",
     "CheckpointDeltaMsg",
     "CheckpointMsg",
     "ModelShareMsg",

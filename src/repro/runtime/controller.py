@@ -23,7 +23,7 @@ from ..mc import (
     Explorer,
     PredictionReport,
     WorldState,
-    score_outcome,
+    score_report,
 )
 from ..model import NetworkModel, StateModel
 from ..obs import MetricsRegistry, stats_view
@@ -38,6 +38,7 @@ from .checkpoints import (
     ProbeMsg,
     ProbeReplyMsg,
 )
+from .policy import AmortizedSteering
 from .steering import EventFilter, SteeringModule
 
 
@@ -48,6 +49,15 @@ class _ZeroObjective(Objective):
 
     def score(self, world: Any) -> float:
         return 0.0
+
+
+def _state_weight(values: Iterable[Any]) -> int:
+    """Size proxy for a state: top-level container lengths summed."""
+    return sum(
+        len(value) if isinstance(value, (dict, list, tuple, set, frozenset))
+        else 1
+        for value in values
+    )
 
 
 class CrystalBallRuntime(InboundInterposer):
@@ -87,6 +97,14 @@ class CrystalBallRuntime(InboundInterposer):
         stale_fallback: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
         flight_recorder: Optional[Any] = None,
+        steering_policy: bool = False,
+        policy_fallback: Optional[object] = None,
+        coalesce_window: float = 0.25,
+        max_policy_age: float = 5.0,
+        policy_rate_budget: Optional[float] = 1200.0,
+        policy_initial_allowance: Optional[float] = None,
+        policy_budget: int = 240,
+        policy_memo_entries: int = 128,
     ) -> None:
         self.node = node
         self.service_factory = service_factory
@@ -216,23 +234,57 @@ class CrystalBallRuntime(InboundInterposer):
             node=node.node_id,
         )
 
+        # Amortized prediction-driven steering (ROADMAP item 2): one
+        # scored prediction round's ranking serves every choice sharing
+        # its coarse scenario signature until it ages out or the world
+        # changes.  AmortizedSteering itself raises ConfigurationError
+        # when the required fallback is missing — at install time, not
+        # mid-run.
+        self.amortized: Optional[AmortizedSteering] = None
+        self._policy_memo: Optional[ChainMemo] = None
+        self.policy_budget = policy_budget
+        if steering_policy:
+            self._policy_memo = ChainMemo(max_entries=policy_memo_entries)
+            self.amortized = AmortizedSteering(
+                fallback=policy_fallback,
+                score_fn=self._policy_score,
+                cost_fn=self._policy_cost,
+                coalesce_window=coalesce_window,
+                max_policy_age=max_policy_age,
+                rate_budget=policy_rate_budget,
+                initial_allowance=policy_initial_allowance,
+            )
+
         node.inbound_interposers.append(self)
         node.crystalball = self
-        node.capture_dispatch = True
-        if self._chain_memo is not None:
-            # Cached chains implicitly read connectivity and liveness
-            # (which destinations are reachable/up); neither is part of
-            # the recorded footprint, so changes flush the memo.
+        # In amortized mode per-dispatch checkpointing is the dominant
+        # cost at high event rates, so capture starts disarmed and the
+        # scheduler arms it only while it is hungry for a scoring round.
+        node.capture_dispatch = self.amortized is None
+        if self._chain_memo is not None or self.amortized is not None:
+            # Cached chains and policy rankings implicitly read
+            # connectivity and liveness (which destinations are
+            # reachable/up); neither is part of the recorded footprint
+            # or the scenario signature's bucketed hints, so changes
+            # flush both.
             node.network.topology_listeners.append(self._on_topology_change)
             node.network.liveness.subscribe(self._on_liveness_change)
 
     def _on_topology_change(self, kind: str) -> None:
         if self._chain_memo is not None:
             self._chain_memo.invalidate(kind)
+        if self._policy_memo is not None:
+            self._policy_memo.invalidate(kind)
+        if self.amortized is not None:
+            self.amortized.invalidate(f"topology:{kind}")
 
     def _on_liveness_change(self, node_id: int, is_up: bool) -> None:
         if self._chain_memo is not None:
             self._chain_memo.invalidate("liveness")
+        if self._policy_memo is not None:
+            self._policy_memo.invalidate("liveness")
+        if self.amortized is not None:
+            self.amortized.invalidate("liveness")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -654,6 +706,12 @@ class CrystalBallRuntime(InboundInterposer):
         self.stats["predictions"] += 1
         self.stats["states_explored"] += report.total_states
         self.last_prediction_summary = report.summary()
+        if self.amortized is not None:
+            # Each full prediction round refreshes the policy's
+            # freshness horizon (entries still age out individually).
+            now = self.node.sim.now
+            if now > self.amortized.policy.refreshed_at:
+                self.amortized.policy.refreshed_at = now
         if self.steering_enabled:
             self._apply_steering(report, world)
         return report
@@ -723,6 +781,12 @@ class CrystalBallRuntime(InboundInterposer):
                         # reach the service; cached chains predicted
                         # without it are no longer trustworthy.
                         self._chain_memo.invalidate("steering")
+                    if self._policy_memo is not None:
+                        self._policy_memo.invalidate("steering")
+                    if self.amortized is not None:
+                        # Rankings distilled before the install assumed
+                        # deliveries the filter now drops.
+                        self.amortized.invalidate("steering")
                 self.node.sim.trace.record(
                     now, "runtime.filter_installed", node=self.node.node_id,
                     src=action.src, msg=type(action.msg).__name__,
@@ -750,7 +814,22 @@ class CrystalBallRuntime(InboundInterposer):
         pre-dispatch checkpoint, substituting each candidate at the
         pending choice, then runs consequence prediction on the
         resulting world and scores it with the installed objective.
+
+        With ``steering_policy`` enabled the amortized scheduler runs
+        instead: most choices answer from the coalescing cache or a
+        policy ranking distilled from an earlier scored round, and only
+        budgeted misses pay for prediction (see
+        :class:`~repro.runtime.policy.AmortizedSteering`).
         """
+        if self.amortized is not None:
+            with self.metrics.span(
+                "runtime.choice", clock=self._sim_clock, node=self.node.node_id,
+            ):
+                value, source = self.amortized.resolve_explain(point, node)
+            self.stats["choices_resolved"] += 1
+            if source == "fallback":
+                self.stats["choices_fallback"] += 1
+            return value
         dispatch = node.current_dispatch
         if dispatch is None:
             # No dispatch to replay (e.g. choice made in on_init):
@@ -799,7 +878,81 @@ class CrystalBallRuntime(InboundInterposer):
         del base  # identical for every candidate; nothing to compare
         return point.candidates[0]
 
-    def _score_candidate(self, dispatch, candidate: Any) -> float:
+    def _policy_score(self, point: ChoicePoint, node: Node):
+        """One scored prediction round for the amortized policy.
+
+        Scores every candidate by sandbox replay + consequence
+        prediction (bounded by the smaller ``policy_budget`` and riding
+        the dedicated policy chain memo for cross-round reuse) and
+        returns ``(ranking, states_explored)`` — or ``None`` when the
+        current dispatch was not captured, in which case the scheduler
+        arms capture and falls back for now.
+        """
+        dispatch = node.current_dispatch
+        if dispatch is None:
+            return None
+        before = self.stats["states_explored"]
+        scored = []
+        weight = self._checkpoint_weight(dispatch)
+        with self.metrics.span("runtime.policy_score", node=self.node.node_id):
+            for candidate in point.candidates:
+                score = self._score_candidate(
+                    dispatch, candidate,
+                    budget=self.policy_budget, memo=self._policy_memo,
+                )
+                scored.append((candidate, score))
+        # Stable sort: candidates tied on score keep application order,
+        # matching the per-choice path's strict-improvement rule.
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        # Charge what a round actually costs: predicted states PLUS the
+        # checkpoint weight per replayed candidate.  Sandbox replay
+        # copies the whole captured state twice per candidate, so on
+        # services whose state grows with committed work (decided logs)
+        # the real cost is O(state), not O(states explored) — weighing
+        # it in makes the rate budget self-concentrate scoring early,
+        # when state is small, and throttle it as the log grows.
+        cost = (
+            self.stats["states_explored"] - before
+            + weight * len(point.candidates)
+        )
+        node.sim.trace.record(
+            node.sim.now, "runtime.policy_distilled", node=node.node_id,
+            label=point.label, states=cost,
+        )
+        return tuple(scored), cost
+
+    @staticmethod
+    def _checkpoint_weight(dispatch) -> int:
+        """Size proxy for one captured state: container lengths summed."""
+        return _state_weight(dispatch.checkpoint.values())
+
+    def _policy_cost(self, point: ChoicePoint, node: Node) -> Optional[int]:
+        """Projected cost of scoring ``point`` now, for budget admission.
+
+        The weight term dominates a round's bill once the service's
+        state has grown, and it is knowable *before* capturing or
+        replaying anything: with no dispatch captured yet, the *live*
+        state fields give the same size proxy for free.  Denying up
+        front matters twice over — an unaffordable round is never
+        replayed, and (because denial precedes the defer-and-arm path)
+        capture is never armed for it, so the node does not pay the
+        O(state) pre-dispatch snapshot either.
+        """
+        dispatch = node.current_dispatch
+        if dispatch is not None:
+            weight = self._checkpoint_weight(dispatch)
+        else:
+            service = getattr(node, "service", None)
+            fields = getattr(service, "state_fields", None)
+            if not fields:
+                return None
+            weight = _state_weight(getattr(service, name) for name in fields)
+        return weight * len(point.candidates)
+
+    def _score_candidate(
+        self, dispatch, candidate: Any,
+        budget: Optional[int] = None, memo: Optional[ChainMemo] = None,
+    ) -> float:
         effects, checkpoint = self._replay(dispatch, candidate)
         if effects is None:
             return float("-inf")
@@ -836,19 +989,17 @@ class CrystalBallRuntime(InboundInterposer):
             future = report.mean_metric if report.mean_metric is not None else 0.0
             return immediate + future
         predictor = ConsequencePredictor(
-            self.make_explorer(), chain_depth=self.chain_depth, budget=self.budget,
+            self.make_explorer(), chain_depth=self.chain_depth,
+            budget=self.budget if budget is None else budget,
             workers=self.prediction_workers, metrics=self.metrics,
+            memo=memo,
         )
         report = predictor.predict(world)
         self.stats["states_explored"] += report.total_states
         self.last_prediction_summary = report.summary()
-        if not report.outcomes:
-            return immediate
-        future = sum(
-            score_outcome(outcome, self.objective, aggregate=self.score_aggregate)
-            for outcome in report.outcomes
-        ) / len(report.outcomes)
-        return immediate + future
+        return immediate + score_report(
+            report, self.objective, aggregate=self.score_aggregate,
+        )
 
     def _replay(self, dispatch, candidate: Any):
         """Re-run the captured dispatch with ``candidate`` at the pending

@@ -15,7 +15,7 @@ expensive predictive one) with the cache.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..choice.choicepoint import ChoicePoint, ChoiceResolver
 from ..obs import MetricsRegistry
@@ -35,6 +35,19 @@ def scenario_key(point: ChoicePoint, node: Optional[object]) -> Tuple:
     return (point.label, state_digest, freeze(list(point.candidates)))
 
 
+def _key_label(key: Tuple) -> str:
+    """A compact stable string rendering of a scenario key.
+
+    Long components (state digests, frozen candidate sets) are
+    truncated so per-key counter labels stay readable in reports.
+    """
+    parts = []
+    for part in key if isinstance(key, tuple) else (key,):
+        text = str(part)
+        parts.append(text if len(text) <= 24 else text[:21] + "...")
+    return "|".join(parts)
+
+
 class PolicyCache:
     """Bounded LRU of resolved choices with optional TTL."""
 
@@ -43,12 +56,20 @@ class PolicyCache:
         ttl: Optional[float] = None,
         max_entries: int = 4096,
         metrics: Optional[MetricsRegistry] = None,
+        max_tracked_keys: int = 128,
     ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries!r}")
         self.ttl = ttl
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, Tuple[Any, float]]" = OrderedDict()
+        # Per-scenario-key [hits, misses, stale] tallies, capped at
+        # max_tracked_keys distinct keys (first come, first tracked —
+        # high-cardinality key functions must not grow this unboundedly;
+        # overflow lookups land on the "<other>" bucket).
+        self.max_tracked_keys = max_tracked_keys
+        self._key_stats: "OrderedDict[str, List[int]]" = OrderedDict()
+        self._last_key_label: Optional[str] = None
         # Counters live in the registry (private unless shared in);
         # ``hits``/``misses``/... stay readable and writable attributes.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -98,6 +119,19 @@ class PolicyCache:
     def stale(self, value: int) -> None:
         self._stale.value = value
 
+    def _key_stat(self, key: Tuple) -> List[int]:
+        """The ``[hits, misses, stale]`` tally for one scenario key."""
+        label = _key_label(key)
+        stat = self._key_stats.get(label)
+        if stat is None:
+            if len(self._key_stats) >= self.max_tracked_keys:
+                label = "<other>"
+                stat = self._key_stats.setdefault(label, [0, 0, 0])
+            else:
+                stat = self._key_stats[label] = [0, 0, 0]
+        self._last_key_label = label
+        return stat
+
     def mark_stale(self) -> None:
         """Reclassify the last hit as a stale miss.
 
@@ -109,6 +143,11 @@ class PolicyCache:
         self.hits -= 1
         self.misses += 1
         self.stale += 1
+        if self._last_key_label is not None:
+            stat = self._key_stats[self._last_key_label]
+            stat[0] -= 1
+            stat[1] += 1
+            stat[2] += 1
 
     def get(self, key: Tuple, now: float) -> Optional[Tuple[bool, Any]]:
         """Lookup: returns ``(True, value)`` on a live hit, else ``None``.
@@ -118,9 +157,11 @@ class PolicyCache:
         directly rather than subtracting twice also avoids the
         floating-point drift of ``now - stored_at > ttl``).
         """
+        stat = self._key_stat(key)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            stat[1] += 1
             return None
         value, stored_at = entry
         if self.ttl is not None and stored_at < now - self.ttl:
@@ -129,9 +170,11 @@ class PolicyCache:
             del self._entries[key]
             self.expirations += 1
             self.misses += 1
+            stat[1] += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        stat[0] += 1
         return (True, value)
 
     def put(self, key: Tuple, value: Any, now: float) -> None:
@@ -155,6 +198,13 @@ class PolicyCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def key_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-scenario-key lookup tallies (bounded at max_tracked_keys)."""
+        return {
+            label: {"hits": s[0], "misses": s[1], "stale": s[2]}
+            for label, s in self._key_stats.items()
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         """Observability snapshot of configuration and counters."""
         return {
@@ -167,6 +217,7 @@ class PolicyCache:
             "expirations": self.expirations,
             "evictions": self.evictions,
             "stale": self.stale,
+            "keys": self.key_stats(),
         }
 
 

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from ..choice.choicepoint import ChoicePoint, ChoiceResolver
+from ..choice.choicepoint import ChoicePoint, ChoiceResolver, ConfigurationError
 from ..choice.resolvers import FirstResolver
 from ..statemachine.node import Cluster, Node
 from .controller import CrystalBallRuntime
+
+# Sentinel distinguishing "use the default fallback" from an explicit
+# (and invalid) fallback=None.
+_DEFAULT = object()
 
 
 class PredictiveResolver(ChoiceResolver):
@@ -22,12 +26,28 @@ class PredictiveResolver(ChoiceResolver):
 
     name = "crystalball"
 
-    def __init__(self, fallback: Optional[ChoiceResolver] = None) -> None:
-        self.fallback = fallback if fallback is not None else FirstResolver()
+    def __init__(self, fallback: Any = _DEFAULT) -> None:
+        if fallback is _DEFAULT:
+            fallback = FirstResolver()
+        # Validate at install time: a missing or non-resolver fallback
+        # used to surface only when a runtime-less node hit resolve()
+        # mid-run, thousands of dispatches into a campaign.
+        if fallback is None or not callable(getattr(fallback, "resolve", None)):
+            raise ConfigurationError(
+                "PredictiveResolver requires a fallback resolver with a "
+                f".resolve(point, node) method, got {fallback!r}; omit the "
+                "argument to use FirstResolver"
+            )
+        self.fallback = fallback
 
     def resolve(self, point: ChoicePoint, node: Optional[Node] = None) -> Any:
         runtime = getattr(node, "crystalball", None) if node is not None else None
-        if runtime is None or node.current_dispatch is None:
+        if runtime is None:
+            return self.fallback.resolve(point, node)
+        if runtime.amortized is None and node.current_dispatch is None:
+            # Per-choice prediction needs a captured dispatch to replay;
+            # the amortized scheduler handles dispatch-less choices
+            # itself (policy/coalesce/fallback), so it always routes.
             return self.fallback.resolve(point, node)
         return runtime.resolve_choice(point, node)
 

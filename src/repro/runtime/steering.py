@@ -116,6 +116,15 @@ class SteeringModule:
         not yet pruned)."""
         return list(self._filters)
 
+    def snapshot(self) -> dict:
+        """Counters + active-filter count, for metrics sections."""
+        return {
+            "filtered": self._filtered.value,
+            "installed": self._installed.value,
+            "refreshed": self._refreshed.value,
+            "active_filters": len(self._filters),
+        }
+
     def __len__(self) -> int:
         return len(self._filters)
 

@@ -110,6 +110,13 @@ class Node:
         # its state before every dispatch (see DispatchRecord).
         self.capture_dispatch = False
         self.current_dispatch: Optional[DispatchRecord] = None
+        # What is dispatching right now, captured or not: ("deliver",
+        # message type) or ("timer", name).  With capture_kinds set (by
+        # the amortized steering scheduler), armed capture checkpoints
+        # only dispatches of those kinds — at high event rates snapshots
+        # of every delivery would dwarf the choices they serve.
+        self.current_dispatch_kind: Optional[tuple] = None
+        self.capture_kinds: Optional[set] = None
         # The CrystalBall runtime attaches itself here when installed.
         self.crystalball: Optional[object] = None
         service.ctx = LiveContext(self)
@@ -244,7 +251,11 @@ class Node:
                     src=src, msg=type(payload).__name__,
                 )
                 return
-        if self.capture_dispatch:
+        self.current_dispatch_kind = ("deliver", type(payload))
+        if self.capture_dispatch and (
+            self.capture_kinds is None
+            or self.current_dispatch_kind in self.capture_kinds
+        ):
             self.current_dispatch = DispatchRecord(
                 kind="deliver", src=src, msg=payload, timer_name=None,
                 payload=None, checkpoint=self.service.checkpoint(),
@@ -321,7 +332,11 @@ class Node:
             del scopes[depth:]
 
     def _dispatch_timer(self, name: str, payload: Any) -> None:
-        if self.capture_dispatch:
+        self.current_dispatch_kind = ("timer", name)
+        if self.capture_dispatch and (
+            self.capture_kinds is None
+            or self.current_dispatch_kind in self.capture_kinds
+        ):
             self.current_dispatch = DispatchRecord(
                 kind="timer", src=None, msg=None, timer_name=name,
                 payload=payload, checkpoint=self.service.checkpoint(),

@@ -1,0 +1,64 @@
+"""T1/T2 throughput experiment: steering modes and digest discipline."""
+
+import pytest
+
+from repro.eval import run_throughput_experiment, steering_mode
+
+SMALL = dict(seed=3, total_requests=300, horizon=6.0)
+
+
+def test_steering_mode_normalization():
+    assert steering_mode(False) == "off"
+    assert steering_mode(True) == "static"
+    assert steering_mode("amortized") == "amortized"
+    with pytest.raises(ValueError):
+        steering_mode("turbo")
+
+
+def test_bool_steering_keeps_legacy_behaviour():
+    r = run_throughput_experiment(True, **SMALL)
+    assert r.mode == "static"
+    assert r.steering is True
+    r = run_throughput_experiment(False, **SMALL)
+    assert r.mode == "off"
+    assert r.steering is False
+
+
+def test_amortized_mode_runs_safely_and_reports_steering_metrics():
+    r = run_throughput_experiment("amortized", **SMALL)
+    assert r.mode == "amortized"
+    assert r.steering is True
+    assert r.safe
+    assert r.committed > 0
+    steering = r.metrics["steering"]
+    # The whole point: far fewer scored rounds than resolved choices.
+    resolved = sum(steering["counters"].values())
+    assert steering["counters"]["scored_rounds"] >= 1
+    assert steering["counters"]["scored_rounds"] < resolved
+    assert steering["policy"]["installs"] >= 1
+    assert "hit_rate" in steering["policy"]
+
+
+def test_amortized_mode_is_seed_deterministic():
+    a = run_throughput_experiment("amortized", **SMALL)
+    b = run_throughput_experiment("amortized", **SMALL)
+    assert a.state_digest == b.state_digest
+    assert a.committed == b.committed
+
+
+def test_modes_off_and_static_unaffected_by_amortized_machinery():
+    """Amortized-off must reproduce the pre-amortization digests: the
+    static and off paths install no runtime, capture no dispatches, and
+    resolve exactly as before this feature existed."""
+    off = run_throughput_experiment("off", **SMALL)
+    static = run_throughput_experiment("static", **SMALL)
+    assert "steering" not in off.metrics
+    assert "steering" not in static.metrics
+    # Static steering dominates off (it batches); both digests are
+    # reproducible run-over-run.
+    assert static.committed > off.committed
+    assert run_throughput_experiment("off", **SMALL).state_digest == off.state_digest
+    assert (
+        run_throughput_experiment("static", **SMALL).state_digest
+        == static.state_digest
+    )

@@ -297,5 +297,20 @@ def test_snapshot_counters(token_factory):
     assert snap["hit_rate"] == snap["hits"] / (snap["hits"] + snap["misses"])
     assert set(snap) == {
         "entries", "actions", "hits", "misses", "stores", "evictions",
-        "invalidations", "rebase_errors", "hit_rate",
+        "invalidations", "invalidation_reasons", "rebase_errors", "hit_rate",
     }
+
+
+def test_invalidation_reasons_counted(token_factory):
+    world = token_world(token_factory, inflight=[InFlightMessage(0, 1, Token(value=1))])
+    memo = ChainMemo()
+    on, off = predictors(token_factory, memo)
+    assert_identical(on, off, world)
+    memo.invalidate("liveness")
+    assert_identical(on, off, world)
+    memo.invalidate("liveness")
+    memo.invalidate("topology:link")  # empty memo: nothing dropped, not counted
+    assert_identical(on, off, world)
+    memo.invalidate("topology:link")
+    snap = memo.snapshot()
+    assert snap["invalidation_reasons"] == {"liveness": 2, "topology:link": 1}

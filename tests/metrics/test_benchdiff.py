@@ -1,0 +1,98 @@
+"""Benchmark regression comparison: direction inference and verdicts."""
+
+import json
+
+from repro.metrics import compare_bench, compare_bench_files, metric_direction
+
+
+def payload(**metrics):
+    return {"bench": "T9", "wall_time_s": 1.0, "metrics": metrics}
+
+
+def test_direction_inference():
+    assert metric_direction("message-chaos.ops_per_sec_steering_on") == "higher"
+    assert metric_direction("speedup") == "higher"
+    assert metric_direction("policy.hit_rate") == "higher"
+    assert metric_direction("checkpoint_bytes") == "lower"
+    assert metric_direction("horizon_s") == "lower"
+    assert metric_direction("score_wall_overhead") == "lower"
+    assert metric_direction("seed") is None
+
+
+def test_identical_payloads_pass():
+    base = payload(ops_per_sec=100.0, repro_digest="abc", seed=1)
+    cmp = compare_bench(base, json.loads(json.dumps(base)))
+    assert cmp.ok
+    assert not cmp.regressions
+
+
+def test_throughput_drop_beyond_tolerance_fails():
+    cmp = compare_bench(payload(ops_per_sec=100.0), payload(ops_per_sec=85.0))
+    assert not cmp.ok
+    (delta,) = cmp.regressions
+    assert delta.verdict == "regressed"
+    assert delta.change < -0.10
+    assert "FAIL" in cmp.summary()
+
+
+def test_throughput_drop_within_tolerance_passes():
+    cmp = compare_bench(payload(ops_per_sec=100.0), payload(ops_per_sec=95.0))
+    assert cmp.ok
+
+
+def test_improvement_is_not_a_regression():
+    cmp = compare_bench(payload(ops_per_sec=100.0), payload(ops_per_sec=200.0))
+    assert cmp.ok
+    assert cmp.deltas[0].verdict == "improved"
+
+
+def test_cost_growth_fails():
+    cmp = compare_bench(
+        payload(checkpoint_bytes=1000), payload(checkpoint_bytes=1500)
+    )
+    assert not cmp.ok
+
+
+def test_digest_flip_is_a_determinism_break():
+    cmp = compare_bench(
+        payload(repro_digest="aaaa", ops_per_sec=10.0),
+        payload(repro_digest="bbbb", ops_per_sec=10.0),
+    )
+    assert not cmp.ok
+    (delta,) = cmp.regressions
+    assert delta.name == "repro_digest"
+    assert delta.verdict == "changed"
+
+
+def test_wall_time_and_quick_are_skipped():
+    base = {"bench": "T9", "metrics": {"wall_time_s": 10.0, "quick": True,
+                                       "ops_per_sec": 5.0}}
+    cur = {"bench": "T9", "metrics": {"wall_time_s": 99.0, "quick": False,
+                                      "ops_per_sec": 5.0}}
+    cmp = compare_bench(base, cur)
+    assert cmp.ok
+
+
+def test_missing_baseline_metric_fails_new_metric_is_info():
+    cmp = compare_bench(payload(ops_per_sec=10.0, extra=1.0),
+                        payload(ops_per_sec=10.0, brand_new=2.0))
+    assert cmp.missing == ["extra"]
+    assert cmp.added == ["brand_new"]
+    assert not cmp.ok
+
+
+def test_nested_metrics_are_flattened():
+    cmp = compare_bench(
+        payload(steering={"policy": {"hit_rate": 0.9}}),
+        payload(steering={"policy": {"hit_rate": 0.5}}),
+    )
+    assert not cmp.ok
+    assert cmp.regressions[0].name == "steering.policy.hit_rate"
+
+
+def test_compare_bench_files(tmp_path):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(payload(ops_per_sec=100.0)))
+    cur.write_text(json.dumps(payload(ops_per_sec=100.0)))
+    assert compare_bench_files(str(base), str(cur)).ok

@@ -84,7 +84,34 @@ def test_snapshot_reports_counters():
         "expirations": 1,
         "evictions": 1,
         "stale": 0,
+        "keys": {
+            "b": {"hits": 1, "misses": 0, "stale": 0},
+            "x": {"hits": 0, "misses": 1, "stale": 0},
+            "c": {"hits": 0, "misses": 1, "stale": 0},
+        },
     }
+
+
+def test_per_key_counters_track_stale_and_overflow():
+    """Satellite: per-scenario-key hit/miss/stale tallies in snapshot().
+
+    Lookup keys get their own counters; beyond ``max_tracked_keys`` the
+    tail aggregates under ``<other>`` so an adversarial key stream can't
+    grow the snapshot without bound."""
+    cache = PolicyCache(ttl=10.0, max_tracked_keys=2)
+    cache.put(("a",), 1, now=0.0)
+    cache.get(("a",), now=0.0)          # hit on key "a"
+    cache.get(("b",), now=0.0)          # miss on key "b"
+    cache.get(("c",), now=0.0)          # overflow -> "<other>"
+    keys = cache.key_stats()
+    assert keys["a"] == {"hits": 1, "misses": 0, "stale": 0}
+    assert keys["b"] == {"hits": 0, "misses": 1, "stale": 0}
+    assert keys["<other>"] == {"hits": 0, "misses": 1, "stale": 0}
+    # mark_stale reclassifies the last lookup's hit as a stale miss on
+    # that same key (mirrors the global counters).
+    cache.get(("a",), now=0.0)
+    cache.mark_stale()
+    assert cache.key_stats()["a"] == {"hits": 1, "misses": 1, "stale": 1}
 
 
 def test_cached_resolver_stats_delegates_to_snapshot():

@@ -90,6 +90,22 @@ def test_choice_scores_traced():
     assert records[0].data["label"] == "gift-target"
 
 
+def test_missing_fallback_is_a_configuration_error():
+    """fallback=None used to blow up mid-run at the first runtime-less
+    resolve(); now the wiring itself refuses."""
+    import pytest
+
+    from repro.choice import ConfigurationError
+
+    with pytest.raises(ConfigurationError) as err:
+        PredictiveResolver(fallback=None)
+    assert "fallback" in str(err.value)
+    with pytest.raises(ConfigurationError):
+        PredictiveResolver(fallback=object())  # no .resolve method
+    # Omitting the argument still means FirstResolver.
+    assert isinstance(PredictiveResolver().fallback, FirstResolver)
+
+
 def test_choices_resolved_counted():
     cluster = Cluster(3, factory, seed=1)
     runtimes = install_crystalball(
